@@ -1,0 +1,1 @@
+bench/ablation.ml: Array Conex Experiments Float Lazy List Mx_apex Mx_connect Mx_mem Mx_sim Mx_trace Mx_util Printf Unix

@@ -1,0 +1,1 @@
+bench/experiments.ml: Conex Float Hashtbl Lazy List Mx_apex Mx_connect Mx_mem Mx_trace Mx_util Paper_data Printf

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Experiments Micro Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Float Instance Lazy List Measure Mx_apex Mx_connect Mx_mem Mx_sim Mx_trace Mx_util Printf Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/paper_data.ml:

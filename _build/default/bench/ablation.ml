@@ -1,0 +1,306 @@
+(* Ablation studies for the design choices DESIGN.md calls out:
+
+   1. clustering merge order — the paper merges lowest-bandwidth
+      channels first; what do inverted or random orders cost?
+   2. estimation fidelity — how well do the analytic estimator and the
+      1/9 time-sampled simulator rank designs against exact simulation?
+      (the paper argues fidelity, not accuracy, is what the search needs)
+   3. sampling ratio — error/speed trade-off of on/off time sampling. *)
+
+module Design = Conex.Design
+module Explore = Conex.Explore
+module Cluster = Mx_connect.Cluster
+module Assign = Mx_connect.Assign
+
+let check = Experiments.check
+
+let prepared =
+  lazy
+    (let w = Mx_trace.Kern_compress.generate ~scale:60_000 ~seed:7 in
+     let profile = Mx_trace.Profile.analyze w in
+     let apex = Mx_apex.Explore.select profile in
+     (w, apex))
+
+(* -- 1. clustering order ------------------------------------------------ *)
+
+(* Quality proxy for a set of simulated designs: the area under the
+   cost/latency staircase, normalised by the axis spans of the union of
+   all compared sets (lower = better front). *)
+let front_area ~all designs =
+  let xs = List.map Design.cost all and ys = List.map Design.latency all in
+  let x0 = List.fold_left Float.min infinity xs
+  and x1 = List.fold_left Float.max neg_infinity xs
+  and y0 = List.fold_left Float.min infinity ys
+  and y1 = List.fold_left Float.max neg_infinity ys in
+  let nx v = (v -. x0) /. Float.max 1e-9 (x1 -. x0)
+  and ny v = (v -. y0) /. Float.max 1e-9 (y1 -. y0) in
+  let front = Mx_util.Pareto.front2 ~x:Design.cost ~y:Design.latency designs in
+  (* integrate best-latency-so-far over [0,1] of normalised cost *)
+  let rec go acc last_x last_y = function
+    | [] -> acc +. ((1.0 -. last_x) *. last_y)
+    | d :: rest ->
+      let x = nx (Design.cost d) and y = ny (Design.latency d) in
+      go (acc +. ((x -. last_x) *. last_y)) x (Float.min last_y y) rest
+  in
+  go 0.0 0.0 1.0 front
+
+let clustering_order () =
+  print_endline "==================================================================";
+  print_endline "Ablation 1 -- clustering merge order";
+  print_endline
+    "  paper heuristic: merge the two lowest-bandwidth clusters first";
+  print_endline "==================================================================";
+  let w, apex = Lazy.force prepared in
+  let explore_with order =
+    let t0 = Unix.gettimeofday () in
+    let designs =
+      List.concat_map
+        (fun (cand : Mx_apex.Explore.candidate) ->
+          let brg =
+            Mx_connect.Brg.build cand.Mx_apex.Explore.arch
+              cand.Mx_apex.Explore.profile
+          in
+          let conns =
+            Assign.enumerate_levels ~order ~max_designs_per_level:1024
+              ~onchip:Mx_connect.Component.onchip_library
+              ~offchip:Mx_connect.Component.offchip_library
+              brg.Mx_connect.Brg.channels
+          in
+          let ests =
+            List.map
+              (fun conn ->
+                let est =
+                  Mx_sim.Estimator.estimate ~workload:w
+                    ~arch:cand.Mx_apex.Explore.arch
+                    ~profile:cand.Mx_apex.Explore.profile ~conn
+                in
+                Design.make ~workload_name:w.Mx_trace.Workload.name
+                  ~mem:cand.Mx_apex.Explore.arch ~conn ~est ())
+              conns
+          in
+          Explore.local_promising Explore.default_config ests)
+        apex
+    in
+    let simulated =
+      List.map
+        (fun (d : Design.t) ->
+          Design.with_sim d
+            (Mx_sim.Cycle_sim.run ~workload:w ~arch:d.Design.mem
+               ~conn:d.Design.conn ()))
+        designs
+    in
+    (simulated, Unix.gettimeofday () -. t0)
+  in
+  let orders =
+    [
+      ("lowest-bandwidth-first (paper)", Cluster.Lowest_bandwidth_first);
+      ("highest-bandwidth-first", Cluster.Highest_bandwidth_first);
+      ("random order (seed 1)", Cluster.Random_order 1);
+      ("random order (seed 2)", Cluster.Random_order 2);
+    ]
+  in
+  let results = List.map (fun (n, o) -> (n, explore_with o)) orders in
+  let all = List.concat_map (fun (_, (d, _)) -> d) results in
+  let t = Mx_util.Table.create ~headers:[ "merge order"; "sims"; "front area (lower=better)"; "time [s]" ] in
+  let areas =
+    List.map
+      (fun (n, (designs, secs)) ->
+        let a = front_area ~all designs in
+        Mx_util.Table.add_row t
+          [ n; string_of_int (List.length designs); Printf.sprintf "%.4f" a;
+            Printf.sprintf "%.2f" secs ];
+        (n, a))
+      results
+  in
+  Mx_util.Table.print t;
+  let paper_area = List.assoc "lowest-bandwidth-first (paper)" areas in
+  let others = List.filter (fun (n, _) -> n <> "lowest-bandwidth-first (paper)") areas in
+  check "paper's merge order is never much worse than alternatives"
+    (List.for_all (fun (_, a) -> paper_area <= a *. 1.15) others);
+  print_newline ()
+
+(* -- 2. estimation fidelity ---------------------------------------------- *)
+
+let kendall_tau xs ys =
+  (* xs and ys are paired metric lists; count concordant/discordant pairs *)
+  let n = List.length xs in
+  let a = Array.of_list xs and b = Array.of_list ys in
+  let conc = ref 0 and disc = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let s = compare a.(i) a.(j) * compare b.(i) b.(j) in
+      if s > 0 then incr conc else if s < 0 then incr disc
+    done
+  done;
+  let total = !conc + !disc in
+  if total = 0 then 1.0 else float_of_int (!conc - !disc) /. float_of_int total
+
+let estimation_fidelity () =
+  print_endline "==================================================================";
+  print_endline "Ablation 2 -- estimation fidelity (rank correlation vs exact sim)";
+  print_endline
+    "  the paper: sampling 'is not highly accurate... the fidelity is";
+  print_endline "  sufficient to make good incremental decisions'";
+  print_endline "==================================================================";
+  let w, apex = Lazy.force prepared in
+  let cand = List.nth apex (List.length apex / 2) in
+  let brg =
+    Mx_connect.Brg.build cand.Mx_apex.Explore.arch cand.Mx_apex.Explore.profile
+  in
+  let conns =
+    Assign.enumerate_levels ~max_designs_per_level:64
+      ~onchip:Mx_connect.Component.onchip_library
+      ~offchip:Mx_connect.Component.offchip_library brg.Mx_connect.Brg.channels
+  in
+  let conns = List.filteri (fun i _ -> i < 80) conns in
+  Printf.printf "architecture: %s, %d connectivity candidates\n\n"
+    cand.Mx_apex.Explore.arch.Mx_mem.Mem_arch.label (List.length conns);
+  let exact =
+    List.map
+      (fun conn ->
+        (Mx_sim.Cycle_sim.run ~workload:w ~arch:cand.Mx_apex.Explore.arch ~conn ())
+          .Mx_sim.Sim_result.avg_mem_latency)
+      conns
+  and estimated =
+    List.map
+      (fun conn ->
+        (Mx_sim.Estimator.estimate ~workload:w ~arch:cand.Mx_apex.Explore.arch
+           ~profile:cand.Mx_apex.Explore.profile ~conn)
+          .Mx_sim.Sim_result.avg_mem_latency)
+      conns
+  and sampled =
+    List.map
+      (fun conn ->
+        (Mx_sim.Cycle_sim.run ~sample:Mx_sim.Cycle_sim.default_sample
+           ~workload:w ~arch:cand.Mx_apex.Explore.arch ~conn ())
+          .Mx_sim.Sim_result.avg_mem_latency)
+      conns
+  in
+  let tau_est = kendall_tau estimated exact in
+  let tau_samp = kendall_tau sampled exact in
+  let mape which =
+    100.0
+    *. Mx_util.Stats.mean
+         (List.map2 (fun e x -> Float.abs (e -. x) /. x) which exact)
+  in
+  Printf.printf "analytic estimator : Kendall tau %.3f, mean abs error %5.1f%%\n"
+    tau_est (mape estimated);
+  Printf.printf "1/9 time sampling  : Kendall tau %.3f, mean abs error %5.1f%%\n"
+    tau_samp (mape sampled);
+  check "analytic estimator has usable fidelity (tau >= 0.5)" (tau_est >= 0.5);
+  check "time sampling has high fidelity (tau >= 0.7)" (tau_samp >= 0.7);
+  check "time sampling is the more accurate of the two"
+    (mape sampled <= mape estimated +. 1.0);
+  print_newline ()
+
+(* -- 3. sampling ratio sweep ----------------------------------------------- *)
+
+let sampling_sweep () =
+  print_endline "==================================================================";
+  print_endline "Ablation 3 -- time-sampling on/off ratio (paper uses 1/9)";
+  print_endline "==================================================================";
+  let w, apex = Lazy.force prepared in
+  let cand = List.hd apex in
+  let brg =
+    Mx_connect.Brg.build cand.Mx_apex.Explore.arch cand.Mx_apex.Explore.profile
+  in
+  let conn =
+    List.hd
+      (Assign.enumerate_levels ~max_designs_per_level:8
+         ~onchip:Mx_connect.Component.onchip_library
+         ~offchip:Mx_connect.Component.offchip_library brg.Mx_connect.Brg.channels)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let exact, t_exact =
+    time (fun () ->
+        Mx_sim.Cycle_sim.run ~workload:w ~arch:cand.Mx_apex.Explore.arch ~conn ())
+  in
+  let t =
+    Mx_util.Table.create
+      ~headers:[ "ratio (on/off)"; "latency [cy]"; "error %"; "speedup" ]
+  in
+  Mx_util.Table.add_row t
+    [ "exact"; Printf.sprintf "%.3f" exact.Mx_sim.Sim_result.avg_mem_latency;
+      "0.00"; "1.0x" ];
+  let errors =
+    List.map
+      (fun (label, on, off) ->
+        let r, secs =
+          time (fun () ->
+              Mx_sim.Cycle_sim.run ~sample:(on, off) ~workload:w
+                ~arch:cand.Mx_apex.Explore.arch ~conn ())
+        in
+        let err =
+          100.0
+          *. Float.abs
+               (r.Mx_sim.Sim_result.avg_mem_latency
+               -. exact.Mx_sim.Sim_result.avg_mem_latency)
+          /. exact.Mx_sim.Sim_result.avg_mem_latency
+        in
+        Mx_util.Table.add_row t
+          [ label; Printf.sprintf "%.3f" r.Mx_sim.Sim_result.avg_mem_latency;
+            Printf.sprintf "%.2f" err;
+            Printf.sprintf "%.1fx" (t_exact /. Float.max 1e-6 secs) ];
+        (label, err))
+      [ ("1/4", 1000, 4000); ("1/9 (paper)", 1000, 9000); ("1/19", 1000, 19000);
+        ("1/49", 500, 24500) ]
+  in
+  Mx_util.Table.print t;
+  check "1/9 sampling keeps the latency error below 15%"
+    (List.assoc "1/9 (paper)" errors < 15.0);
+  check "error grows (weakly) as sampling gets sparser"
+    (List.assoc "1/4" errors <= List.assoc "1/49" errors +. 10.0);
+  print_newline ()
+
+(* -- 4. CPU model: blocking vs non-blocking loads -------------------------- *)
+
+let cpu_overlap () =
+  print_endline "==================================================================";
+  print_endline "Ablation 4 -- CPU model: blocking (paper) vs non-blocking loads";
+  print_endline
+    "  does the connectivity ranking survive if the CPU can overlap misses?";
+  print_endline "==================================================================";
+  let w, apex = Lazy.force prepared in
+  let cand = List.hd apex in
+  let brg =
+    Mx_connect.Brg.build cand.Mx_apex.Explore.arch cand.Mx_apex.Explore.profile
+  in
+  let conns =
+    Assign.enumerate_levels ~max_designs_per_level:32
+      ~onchip:Mx_connect.Component.onchip_library
+      ~offchip:Mx_connect.Component.offchip_library brg.Mx_connect.Brg.channels
+  in
+  let conns = List.filteri (fun i _ -> i < 40) conns in
+  let latencies cpu =
+    List.map
+      (fun conn ->
+        (Mx_sim.Cycle_sim.run ~cpu ~workload:w ~arch:cand.Mx_apex.Explore.arch
+           ~conn ())
+          .Mx_sim.Sim_result.avg_mem_latency)
+      conns
+  in
+  let blocking = latencies Mx_sim.Cycle_sim.Blocking in
+  let overlap4 = latencies (Mx_sim.Cycle_sim.Overlap 4) in
+  let tau = kendall_tau blocking overlap4 in
+  let mean = Mx_util.Stats.mean in
+  Printf.printf
+    "blocking CPU   : mean latency %6.2f cy over %d connectivity candidates\n"
+    (mean blocking) (List.length conns);
+  Printf.printf "4-MSHR overlap : mean latency %6.2f cy\n" (mean overlap4);
+  Printf.printf "rank correlation between the two CPU models: tau = %.3f\n"
+    (kendall_tau blocking overlap4);
+  check "overlap never meaningfully increases latency (<= 2% + contention)"
+    (List.for_all2 (fun b o -> o <= (b *. 1.02) +. 0.2) blocking overlap4);
+  check "connectivity ranking is robust to the CPU model (tau >= 0.6)"
+    (tau >= 0.6);
+  print_newline ()
+
+let all () =
+  clustering_order ();
+  estimation_fidelity ();
+  sampling_sweep ();
+  cpu_overlap ()

@@ -1,0 +1,27 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation plus bechamel micro-benchmarks.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- fig3    -- one experiment
+     dune exec bench/main.exe -- micro   -- micro-benchmarks only       *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [fig3|fig4|fig6|table1|table2|ablation|micro|all]";
+  exit 2
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match what with
+  | "fig3" -> Experiments.fig3 ()
+  | "fig4" -> Experiments.fig4 ()
+  | "fig6" -> Experiments.fig6 ()
+  | "table1" -> Experiments.table1 ()
+  | "table2" -> Experiments.table2 ()
+  | "ablation" -> Ablation.all ()
+  | "micro" -> Micro.run ()
+  | "all" ->
+    Experiments.all ();
+    Ablation.all ();
+    Micro.run ()
+  | _ -> usage ()

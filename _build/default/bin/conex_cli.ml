@@ -1,0 +1,351 @@
+(* Command-line driver for the MemorEx/ConEx exploration flow.
+
+     conex profile   -w compress           profile a workload
+     conex apex      -w li                 memory-modules exploration
+     conex explore   -w vocoder            full two-phase ConEx
+     conex strategies -w compress          Pruned/Neighborhood/Full comparison *)
+
+open Cmdliner
+
+let workload_names =
+  [ "compress"; "li"; "vocoder"; "jpeg"; "fft"; "dijkstra"; "mixed" ]
+
+let make_workload name ~scale ~seed =
+  match name with
+  | "compress" -> Mx_trace.Kern_compress.generate ~scale ~seed
+  | "li" -> Mx_trace.Kern_li.generate ~scale ~seed
+  | "vocoder" -> Mx_trace.Kern_vocoder.generate ~scale ~seed
+  | "jpeg" -> Mx_trace.Kern_jpeg.generate ~scale ~seed
+  | "fft" -> Mx_trace.Kern_fft.generate ~scale ~seed
+  | "dijkstra" -> Mx_trace.Kern_graph.generate ~scale ~seed
+  | "mixed" ->
+    Mx_trace.Synthetic.generate ~name:"mixed" ~scale ~seed
+      ~specs:
+        [
+          Mx_trace.Synthetic.spec ~name:"stream" ~elems:8192 ~share:2.0
+            Mx_trace.Region.Stream;
+          Mx_trace.Synthetic.spec ~name:"hot" ~elems:128 ~share:2.0 ~skew:1.2
+            Mx_trace.Region.Indexed;
+          Mx_trace.Synthetic.spec ~name:"table" ~elems:16384 ~share:1.5
+            ~skew:0.2 Mx_trace.Region.Random_access;
+          Mx_trace.Synthetic.spec ~name:"list" ~elems:8192 ~share:1.5
+            Mx_trace.Region.Self_indirect;
+        ]
+  | other ->
+    Printf.eprintf "unknown workload %S (expected %s)\n" other
+      (String.concat "|" workload_names);
+    exit 2
+
+(* common options *)
+
+let workload_arg =
+  let doc =
+    "Workload: compress, li, vocoder, jpeg, fft, dijkstra or mixed."
+  in
+  Arg.(value & opt string "compress" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let trace_in_arg =
+  let doc = "Load the workload from a saved trace file instead of a kernel." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let resolve_workload name scale seed trace_in =
+  match trace_in with
+  | Some path -> Mx_trace.Trace_io.load ~path
+  | None -> make_workload name ~scale ~seed
+
+let scale_arg =
+  let doc = "Trace length (number of memory accesses)." in
+  Arg.(value & opt int 100_000 & info [ "scale" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (experiments are deterministic per seed)." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc)
+
+let reduced_arg =
+  let doc = "Use the reduced module/component catalogue (much faster)." in
+  Arg.(value & flag & info [ "reduced" ] ~doc)
+
+let config_of_reduced reduced =
+  if reduced then Conex.Explore.reduced_config else Conex.Explore.default_config
+
+(* -- profile ---------------------------------------------------------- *)
+
+let profile_cmd =
+  let run name scale seed trace_in save_trace =
+    let w = resolve_workload name scale seed trace_in in
+    let p = Mx_trace.Profile.analyze w in
+    Format.printf "%a@." Mx_trace.Profile.pp_summary p;
+    Option.iter
+      (fun path ->
+        Mx_trace.Trace_io.save w ~path;
+        Printf.printf "trace saved to %s\n" path)
+      save_trace
+  in
+  let save_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-trace" ] ~docv:"FILE"
+          ~doc:"Also save the generated workload trace to a file.")
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Profile a workload's access patterns")
+    Term.(
+      const run $ workload_arg $ scale_arg $ seed_arg $ trace_in_arg
+      $ save_trace_arg)
+
+(* -- apex ------------------------------------------------------------- *)
+
+let apex_cmd =
+  let run name scale seed reduced =
+    let w = make_workload name ~scale ~seed in
+    let p = Mx_trace.Profile.analyze w in
+    let config =
+      if reduced then Mx_apex.Explore.reduced_config
+      else Mx_apex.Explore.default_config
+    in
+    let sel = Mx_apex.Explore.select ~config p in
+    let t =
+      Mx_util.Table.create
+        ~headers:[ "#"; "architecture"; "cost [gates]"; "miss ratio" ]
+    in
+    List.iteri
+      (fun i (c : Mx_apex.Explore.candidate) ->
+        Mx_util.Table.add_row t
+          [
+            string_of_int (i + 1);
+            c.Mx_apex.Explore.arch.Mx_mem.Mem_arch.label;
+            string_of_int c.Mx_apex.Explore.cost_gates;
+            Printf.sprintf "%.4f" c.Mx_apex.Explore.miss_ratio;
+          ])
+      sel;
+    Mx_util.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "apex"
+       ~doc:"Memory-modules exploration: the selected architectures")
+    Term.(const run $ workload_arg $ scale_arg $ seed_arg $ reduced_arg)
+
+(* -- explore ----------------------------------------------------------- *)
+
+let scenario_arg =
+  let doc =
+    "Constrained selection: power=<nJ>, cost=<gates> or perf=<cycles>."
+  in
+  Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"KIND=V" ~doc)
+
+let parse_scenario s =
+  match String.split_on_char '=' s with
+  | [ "power"; v ] -> Conex.Scenario.Power_constrained (float_of_string v)
+  | [ "cost"; v ] -> Conex.Scenario.Cost_constrained (float_of_string v)
+  | [ "perf"; v ] -> Conex.Scenario.Perf_constrained (float_of_string v)
+  | _ ->
+    Printf.eprintf "bad --scenario %S (power=X | cost=X | perf=X)\n" s;
+    exit 2
+
+let explore_cmd =
+  let run name scale seed reduced scenario plot trace_in csv bus_report =
+    let w = resolve_workload name scale seed trace_in in
+    let r = Conex.Explore.run ~config:(config_of_reduced reduced) w in
+    Printf.printf
+      "%s: %d estimates -> %d simulations -> %d pareto designs (%.1fs)\n\n"
+      name r.Conex.Explore.n_estimates r.Conex.Explore.n_simulations
+      (List.length r.Conex.Explore.pareto_cost_perf)
+      r.Conex.Explore.wall_seconds;
+    if plot then
+      print_string
+        (Conex.Report.ascii_scatter ~x:Conex.Design.cost ~y:Conex.Design.latency
+           ~highlight:r.Conex.Explore.pareto_cost_perf
+           r.Conex.Explore.simulated);
+    (match scenario with
+    | None ->
+      Conex.Report.print_designs ~title:"cost/performance pareto designs:"
+        r.Conex.Explore.pareto_cost_perf
+    | Some s ->
+      let sc = parse_scenario s in
+      Conex.Report.print_designs
+        ~title:(Conex.Scenario.to_string sc ^ " designs:")
+        (Conex.Scenario.select sc r.Conex.Explore.simulated));
+    Option.iter
+      (fun path ->
+        Conex.Report.save_csv r.Conex.Explore.simulated ~path;
+        Printf.printf "\n%d simulated designs exported to %s\n"
+          (List.length r.Conex.Explore.simulated)
+          path)
+      csv;
+    if bus_report then begin
+      match List.rev r.Conex.Explore.pareto_cost_perf with
+      | [] -> ()
+      | best :: _ ->
+        let _, stats =
+          Mx_sim.Cycle_sim.run_traced ~workload:w ~arch:best.Conex.Design.mem
+            ~conn:best.Conex.Design.conn ()
+        in
+        Printf.printf "\nbus utilisation of the best design (%s):\n"
+          (Conex.Design.id best);
+        let t =
+          Mx_util.Table.create
+            ~headers:
+              [ "component"; "carries"; "txns"; "busy [cy]"; "waits [cy]";
+                "utilisation" ]
+        in
+        List.iter
+          (fun (b : Mx_sim.Cycle_sim.bus_stat) ->
+            Mx_util.Table.add_row t
+              [
+                b.Mx_sim.Cycle_sim.component;
+                b.Mx_sim.Cycle_sim.carries;
+                string_of_int b.Mx_sim.Cycle_sim.txns;
+                string_of_int b.Mx_sim.Cycle_sim.busy_cycles;
+                string_of_int b.Mx_sim.Cycle_sim.wait_cycles;
+                Printf.sprintf "%.1f%%"
+                  (100.0 *. b.Mx_sim.Cycle_sim.utilization);
+              ])
+          stats;
+        Mx_util.Table.print t
+    end
+  in
+  let plot_arg =
+    Arg.(value & flag & info [ "plot" ] ~doc:"Print an ASCII scatter plot.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Export all simulated designs as CSV.")
+  in
+  let bus_report_arg =
+    Arg.(
+      value & flag
+      & info [ "bus-report" ]
+          ~doc:"Print per-component utilisation of the best pareto design.")
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Full two-phase ConEx exploration")
+    Term.(
+      const run $ workload_arg $ scale_arg $ seed_arg $ reduced_arg
+      $ scenario_arg $ plot_arg $ trace_in_arg $ csv_arg $ bus_report_arg)
+
+(* -- select: re-select from a saved CSV ---------------------------------- *)
+
+let select_cmd =
+  let run path scenario =
+    let ic = open_in path in
+    let rows =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          really_input_string ic n)
+      |> String.split_on_char '\n'
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    match rows with
+    | [] | [ _ ] ->
+      Printf.eprintf "no data rows in %s\n" path;
+      exit 1
+    | _header :: data ->
+      (* parse CSV rows (quoted fields may contain commas) *)
+      let parse_row line =
+        let fields = ref [] and buf = Buffer.create 32 in
+        let in_q = ref false in
+        String.iter
+          (fun c ->
+            if c = '"' then in_q := not !in_q
+            else if c = ',' && not !in_q then begin
+              fields := Buffer.contents buf :: !fields;
+              Buffer.clear buf
+            end
+            else Buffer.add_char buf c)
+          line;
+        fields := Buffer.contents buf :: !fields;
+        List.rev !fields
+      in
+      let designs =
+        List.filter_map
+          (fun line ->
+            match parse_row line with
+            | [ _wl; mem; conn; cost; lat; energy; _miss; _exact ] -> (
+              try
+                Some
+                  ( mem ^ " | " ^ conn,
+                    float_of_string cost,
+                    float_of_string lat,
+                    float_of_string energy )
+              with Failure _ -> None)
+            | _ -> None)
+          data
+      in
+      let sc = parse_scenario scenario in
+      let keep (_, c, l, e) =
+        match sc with
+        | Conex.Scenario.Power_constrained v -> e <= v
+        | Conex.Scenario.Cost_constrained v -> c <= v
+        | Conex.Scenario.Perf_constrained v -> l <= v
+      in
+      let x, y =
+        match sc with
+        | Conex.Scenario.Power_constrained _ ->
+          ((fun (_, c, _, _) -> c), fun (_, _, l, _) -> l)
+        | Conex.Scenario.Cost_constrained _ ->
+          ((fun (_, _, l, _) -> l), fun (_, _, _, e) -> e)
+        | Conex.Scenario.Perf_constrained _ ->
+          ((fun (_, c, _, _) -> c), fun (_, _, _, e) -> e)
+      in
+      let front =
+        designs |> List.filter keep |> Mx_util.Pareto.front2 ~x ~y
+      in
+      Printf.printf "%s over %d saved designs:\n"
+        (Conex.Scenario.to_string sc) (List.length designs);
+      List.iter
+        (fun (id, c, l, e) ->
+          Printf.printf "  %8.0f gates  %6.2f cy  %6.2f nJ   %s\n" c l e id)
+        front
+  in
+  let csv_in_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"CSV produced by 'explore --csv'.")
+  in
+  let scen_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"KIND=V"
+          ~doc:"power=<nJ> | cost=<gates> | perf=<cycles>.")
+  in
+  Cmd.v
+    (Cmd.info "select"
+       ~doc:"Constrained re-selection over previously exported designs")
+    Term.(const run $ csv_in_arg $ scen_arg)
+
+(* -- strategies ---------------------------------------------------------- *)
+
+let strategies_cmd =
+  let run name scale seed =
+    let w = make_workload name ~scale ~seed in
+    let config = Conex.Explore.reduced_config in
+    let full = Conex.Strategy.run ~config Conex.Strategy.Full w in
+    List.iter
+      (fun kind ->
+        let o = Conex.Strategy.run ~config kind w in
+        let r = Conex.Coverage.eval ~reference:full o in
+        Format.printf "%a@." Conex.Coverage.pp r)
+      [ Conex.Strategy.Pruned; Conex.Strategy.Neighborhood ];
+    let rf = Conex.Coverage.eval ~reference:full full in
+    Format.printf "%a@." Conex.Coverage.pp rf
+  in
+  Cmd.v
+    (Cmd.info "strategies"
+       ~doc:"Compare Pruned / Neighborhood / Full exploration strategies")
+    Term.(const run $ workload_arg $ scale_arg $ seed_arg)
+
+let main_cmd =
+  let doc = "Memory system connectivity exploration (ConEx, DATE 2002)" in
+  Cmd.group
+    (Cmd.info "conex" ~version:"1.0.0" ~doc)
+    [ profile_cmd; apex_cmd; explore_cmd; select_cmd; strategies_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/compress_tradeoffs.ml: Conex Format List Mx_apex Mx_mem Mx_trace Mx_util Printf

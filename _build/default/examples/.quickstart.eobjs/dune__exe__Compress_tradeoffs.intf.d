@@ -1,0 +1,1 @@
+examples/compress_tradeoffs.mli:

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Array Conex Format Mx_trace Mx_util Printf

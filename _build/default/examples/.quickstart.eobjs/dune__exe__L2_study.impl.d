@@ -1,0 +1,1 @@
+examples/l2_study.ml: Array Float List Mx_connect Mx_mem Mx_sim Mx_trace Mx_util Printf

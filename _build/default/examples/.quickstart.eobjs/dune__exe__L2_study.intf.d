@@ -1,0 +1,1 @@
+examples/l2_study.mli:

@@ -1,0 +1,1 @@
+examples/media_suite.ml: Conex Filename List Mx_mem Mx_trace Printf String

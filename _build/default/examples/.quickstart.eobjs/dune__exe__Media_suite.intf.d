@@ -1,0 +1,1 @@
+examples/media_suite.mli:

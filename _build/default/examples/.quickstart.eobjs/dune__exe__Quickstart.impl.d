@@ -1,0 +1,1 @@
+examples/quickstart.ml: Conex Mx_trace Printf

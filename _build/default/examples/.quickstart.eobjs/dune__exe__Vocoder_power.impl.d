@@ -1,0 +1,1 @@
+examples/vocoder_power.ml: Conex List Mx_trace Mx_util Printf

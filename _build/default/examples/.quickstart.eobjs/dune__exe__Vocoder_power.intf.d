@@ -1,0 +1,1 @@
+examples/vocoder_power.mli:

@@ -1,0 +1,74 @@
+(* The paper's running example (Section 4): cost/performance trade-offs
+   for the compress benchmark, end to end.
+
+   - stage 1 (APEX): the memory-modules pareto, as in Fig. 3;
+   - stage 2 (ConEx): the combined memory+connectivity exploration, as
+     in Fig. 4, with the annotated pareto designs of Fig. 6.
+
+   Run with:  dune exec examples/compress_tradeoffs.exe *)
+
+let () =
+  let workload = Mx_trace.Kern_compress.generate ~scale:100_000 ~seed:7 in
+  let profile = Mx_trace.Profile.analyze workload in
+  Format.printf "%a@." Mx_trace.Profile.pp_summary profile;
+
+  (* -- APEX: memory modules exploration (Fig. 3) ------------------- *)
+  let selected = Mx_apex.Explore.select profile in
+  print_endline "APEX-selected memory modules architectures (Fig. 3 points 1-5):";
+  List.iteri
+    (fun i (c : Mx_apex.Explore.candidate) ->
+      Printf.printf "  %d. %-16s %8d gates   miss ratio %.4f\n" (i + 1)
+        c.Mx_apex.Explore.arch.Mx_mem.Mem_arch.label c.Mx_apex.Explore.cost_gates
+        c.Mx_apex.Explore.miss_ratio)
+    selected;
+
+  (* -- ConEx: connectivity exploration (Figs. 4 and 6) -------------- *)
+  let result = Conex.Explore.run workload in
+  Printf.printf
+    "\nConEx: %d estimated candidates -> %d simulated -> %d pareto designs\n\n"
+    result.Conex.Explore.n_estimates result.Conex.Explore.n_simulations
+    (List.length result.Conex.Explore.pareto_cost_perf);
+  print_endline "Exploration cloud, cost (x) vs average memory latency (y):";
+  print_string
+    (Conex.Report.ascii_scatter ~x:Conex.Design.cost ~y:Conex.Design.latency
+       ~highlight:result.Conex.Explore.pareto_cost_perf
+       result.Conex.Explore.simulated);
+
+  print_endline "\nAnnotated pareto architectures (as in Fig. 6):";
+  let annotated = Conex.Report.annotate result.Conex.Explore.pareto_cost_perf in
+  let baseline =
+    (* the best "traditional" pure-cache design, the paper's point (b) *)
+    List.filter
+      (fun (_, d) ->
+        d.Conex.Design.mem.Mx_mem.Mem_arch.sbuf = None
+        && d.Conex.Design.mem.Mx_mem.Mem_arch.lldma = None
+        && d.Conex.Design.mem.Mx_mem.Mem_arch.sram = None)
+      annotated
+  in
+  List.iter
+    (fun (label, d) ->
+      Printf.printf "  %s: %8d gates  %6.2f cy  %5.2f nJ   %s\n" label
+        d.Conex.Design.cost_gates (Conex.Design.latency d)
+        (Conex.Design.energy d) (Conex.Design.id d))
+    annotated;
+  (match (annotated, List.rev annotated) with
+  | (_, cheapest) :: _, (_, best) :: _ ->
+    Printf.printf
+      "\nbest design improves average memory latency by %.0f%% over the \
+       cheapest pareto design\n"
+      (Mx_util.Stats.ratio_pct
+         (Conex.Design.latency best)
+         (Conex.Design.latency cheapest))
+  | _ -> ());
+  match baseline with
+  | (bl, b) :: _ ->
+    let best = List.hd (List.rev annotated) |> snd in
+    Printf.printf
+      "novel-module designs improve %.0f%% over the best traditional \
+       cache-only design (%s)\n"
+      (Mx_util.Stats.ratio_pct (Conex.Design.latency best) (Conex.Design.latency b))
+      bl
+  | [] ->
+    print_endline
+      "note: no pure-cache design on this run's pareto front (all fronts \
+       used stream buffers or DMAs)"

@@ -1,0 +1,92 @@
+(* Two-level hierarchy study: when does adding an L2 beat simply growing
+   the L1, and how does the answer depend on connectivity?
+
+   This is the kind of question the extended module library answers: the
+   L2 introduces two new BRG channels (cache<->L2 on-chip, L2<->DRAM
+   off-chip), so the connectivity choice interacts with the hierarchy
+   choice.
+
+   Run with:  dune exec examples/l2_study.exe *)
+
+module Params = Mx_mem.Params
+module Mem_arch = Mx_mem.Mem_arch
+
+let () =
+  let w = Mx_trace.Kern_compress.generate ~scale:80_000 ~seed:9 in
+  let regions = w.Mx_trace.Workload.regions in
+  let bindings = Array.make (List.length regions) Mem_arch.To_cache in
+  let l1_small = { Params.c_size = 4096; c_line = 32; c_assoc = 2; c_latency = 1 } in
+  let l1_big = { Params.c_size = 32768; c_line = 32; c_assoc = 2; c_latency = 2 } in
+  let l2 = List.hd Mx_mem.Module_lib.l2_caches in
+  let archs =
+    [
+      Mem_arch.make ~label:"small L1" ~cache:l1_small ~bindings ();
+      Mem_arch.make ~label:"big L1" ~cache:l1_big ~bindings ();
+      Mem_arch.make ~label:"small L1 + L2" ~cache:l1_small ~l2 ~bindings ();
+    ]
+  in
+  let t =
+    Mx_util.Table.create
+      ~headers:
+        [ "hierarchy"; "cost [gates]"; "miss ratio"; "best latency [cy]";
+          "worst latency [cy]"; "conn candidates" ]
+  in
+  List.iter
+    (fun arch ->
+      let msim = Mx_mem.Mem_sim.create arch ~regions in
+      let stats = Mx_mem.Mem_sim.run msim w.Mx_trace.Workload.trace in
+      let brg = Mx_connect.Brg.build arch stats in
+      let conns =
+        Mx_connect.Assign.enumerate_levels ~max_designs_per_level:256
+          ~onchip:Mx_connect.Component.onchip_library
+          ~offchip:Mx_connect.Component.offchip_library
+          brg.Mx_connect.Brg.channels
+      in
+      let latencies =
+        List.map
+          (fun conn ->
+            (Mx_sim.Cycle_sim.run ~workload:w ~arch ~conn ())
+              .Mx_sim.Sim_result.avg_mem_latency)
+          conns
+      in
+      Mx_util.Table.add_row t
+        [
+          arch.Mem_arch.label;
+          string_of_int (Mem_arch.cost_gates arch);
+          Printf.sprintf "%.4f" (Mx_mem.Mem_sim.miss_ratio stats);
+          Printf.sprintf "%.2f" (List.fold_left Float.min infinity latencies);
+          Printf.sprintf "%.2f"
+            (List.fold_left Float.max neg_infinity latencies);
+          string_of_int (List.length conns);
+        ])
+    archs;
+  Mx_util.Table.print t;
+  print_endline
+    "\nNote how the L2 architecture exposes a wider connectivity space (two\n\
+     extra channels) and a wider best-to-worst latency spread: hierarchy\n\
+     and connectivity must be explored together, which is the paper's\n\
+     core argument.";
+  (* where does the L2 config sit on its bus utilisations? *)
+  let arch = List.nth archs 2 in
+  let msim = Mx_mem.Mem_sim.create arch ~regions in
+  let stats = Mx_mem.Mem_sim.run msim w.Mx_trace.Workload.trace in
+  let brg = Mx_connect.Brg.build arch stats in
+  let conn =
+    Mx_connect.Conn_arch.make
+      (List.map
+         (fun ch ->
+           ( Mx_connect.Cluster.of_channel ch,
+             if Mx_connect.Channel.crosses_chip ch then
+               Mx_connect.Component.by_name "off32"
+             else Mx_connect.Component.by_name "mux32" ))
+         brg.Mx_connect.Brg.channels)
+  in
+  let _, stats = Mx_sim.Cycle_sim.run_traced ~workload:w ~arch ~conn () in
+  print_endline "\nbus utilisation (small L1 + L2, mux + off32 everywhere):";
+  List.iter
+    (fun (b : Mx_sim.Cycle_sim.bus_stat) ->
+      Printf.printf "  %-8s %-18s %6d txns  %5.1f%% utilised\n"
+        b.Mx_sim.Cycle_sim.component b.Mx_sim.Cycle_sim.carries
+        b.Mx_sim.Cycle_sim.txns
+        (100.0 *. b.Mx_sim.Cycle_sim.utilization))
+    stats

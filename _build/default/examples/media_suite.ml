@@ -1,0 +1,77 @@
+(* A small product-planning study across the extended workload suite:
+   which single memory + connectivity configuration serves a multimedia
+   SoC that must run JPEG encoding, an FFT, and graph search?
+
+   Demonstrates: the extra kernels (jpeg / fft / dijkstra), per-workload
+   exploration, cross-workload comparison of the winners, and CSV export
+   for external analysis.
+
+   Run with:  dune exec examples/media_suite.exe *)
+
+module Design = Conex.Design
+
+let kernels =
+  [
+    ("jpeg", Mx_trace.Kern_jpeg.generate);
+    ("fft", Mx_trace.Kern_fft.generate);
+    ("dijkstra", Mx_trace.Kern_graph.generate);
+  ]
+
+let () =
+  let results =
+    List.map
+      (fun (name, gen) ->
+        let w = gen ~scale:60_000 ~seed:21 in
+        let r = Conex.Explore.run ~config:Conex.Explore.reduced_config w in
+        Printf.printf "%-9s %5d estimates -> %3d simulated -> %2d pareto (%.1fs)\n"
+          name r.Conex.Explore.n_estimates r.Conex.Explore.n_simulations
+          (List.length r.Conex.Explore.pareto_cost_perf)
+          r.Conex.Explore.wall_seconds;
+        (name, r))
+      kernels
+  in
+  print_newline ();
+
+  (* per-workload winners at a shared gate budget *)
+  let budget = 300_000.0 in
+  Printf.printf "best design under a %.0f-gate budget, per workload:\n" budget;
+  List.iter
+    (fun (name, r) ->
+      match
+        Conex.Scenario.select (Conex.Scenario.Cost_constrained budget)
+          r.Conex.Explore.simulated
+      with
+      | best :: _ ->
+        Printf.printf "  %-9s %6.2f cy  %5.2f nJ   %s\n" name
+          (Design.latency best) (Design.energy best) (Design.id best)
+      | [] -> Printf.printf "  %-9s (nothing under budget)\n" name)
+    results;
+
+  (* would one memory architecture serve all three?  compare the memory
+     labels of each workload's budget winner *)
+  print_newline ();
+  let labels =
+    List.filter_map
+      (fun (_, r) ->
+        match
+          Conex.Scenario.select (Conex.Scenario.Cost_constrained budget)
+            r.Conex.Explore.simulated
+        with
+        | best :: _ -> Some best.Design.mem.Mx_mem.Mem_arch.label
+        | [] -> None)
+      results
+  in
+  (match List.sort_uniq compare labels with
+  | [ one ] ->
+    Printf.printf "a single memory architecture (%s) wins for all workloads\n" one
+  | several ->
+    Printf.printf
+      "the workloads prefer different memory architectures (%s): a shared \
+       SoC would need the compromise point or a superset configuration\n"
+      (String.concat ", " several));
+
+  (* export everything for spreadsheet analysis *)
+  let all = List.concat_map (fun (_, r) -> r.Conex.Explore.simulated) results in
+  let path = Filename.temp_file "media_suite" ".csv" in
+  Conex.Report.save_csv all ~path;
+  Printf.printf "\n%d designs exported to %s\n" (List.length all) path

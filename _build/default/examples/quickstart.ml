@@ -1,0 +1,33 @@
+(* Quickstart: explore memory + connectivity architectures for one
+   workload and print the most promising designs.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Get a workload.  Built-in kernels: compress, li, vocoder — or
+     bring your own via Mx_trace.Synthetic / Workload.Emitter. *)
+  let workload = Mx_trace.Kern_compress.generate ~scale:60_000 ~seed:42 in
+  Printf.printf "workload: %s (%d memory accesses)\n" workload.Mx_trace.Workload.name
+    (Mx_trace.Workload.access_count workload);
+
+  (* 2. Run the full two-phase ConEx exploration.  The reduced config
+     keeps the catalogue small so this finishes in a couple of seconds;
+     use Conex.Explore.default_config for the full library. *)
+  let result = Conex.Explore.run ~config:Conex.Explore.reduced_config workload in
+  Printf.printf
+    "explored %d connectivity candidates by estimation, simulated %d, in %.1fs\n\n"
+    result.Conex.Explore.n_estimates result.Conex.Explore.n_simulations
+    result.Conex.Explore.wall_seconds;
+
+  (* 3. The cost/performance pareto front is the designer's menu. *)
+  Conex.Report.print_designs ~title:"Most promising designs (cost/perf pareto):"
+    result.Conex.Explore.pareto_cost_perf;
+
+  (* 4. Metrics of any single design are one call away. *)
+  match result.Conex.Explore.pareto_cost_perf with
+  | best :: _ ->
+    Printf.printf "\ncheapest pareto design: %s\n  %.2f cycles/access, %.2f nJ/access\n"
+      (Conex.Design.id best)
+      (Conex.Design.latency best)
+      (Conex.Design.energy best)
+  | [] -> print_endline "no designs found"

@@ -1,0 +1,46 @@
+(* Energy-aware selection for an embedded GSM vocoder: the paper's three
+   constrained scenarios (Section 5, Phase II).
+
+   A battery-powered voice codec cares about nJ/access first; a
+   cost-driven consumer part caps the gate budget; a real-time part must
+   hit a latency target.  Each scenario yields a different pareto menu
+   from the same exploration.
+
+   Run with:  dune exec examples/vocoder_power.exe *)
+
+let print_menu title designs =
+  Printf.printf "\n%s\n" title;
+  if designs = [] then print_endline "  (no design satisfies the constraint)"
+  else
+    List.iter
+      (fun d ->
+        Printf.printf "  %8d gates  %6.2f cy  %5.2f nJ   %s\n"
+          d.Conex.Design.cost_gates (Conex.Design.latency d)
+          (Conex.Design.energy d) (Conex.Design.id d))
+      designs
+
+let () =
+  let workload = Mx_trace.Kern_vocoder.generate ~scale:80_000 ~seed:11 in
+  let result = Conex.Explore.run workload in
+  let designs = result.Conex.Explore.simulated in
+  Printf.printf "vocoder: %d simulated designs\n" (List.length designs);
+
+  let p50 xs = Mx_util.Stats.percentile xs ~p:50.0 in
+  let e_limit = p50 (List.map Conex.Design.energy designs) in
+  let c_limit = p50 (List.map Conex.Design.cost designs) in
+  let l_limit = p50 (List.map Conex.Design.latency designs) in
+
+  print_menu
+    (Printf.sprintf
+       "(a) power-constrained (energy <= %.2f nJ/access): cost/perf pareto"
+       e_limit)
+    (Conex.Scenario.select (Conex.Scenario.Power_constrained e_limit) designs);
+  print_menu
+    (Printf.sprintf
+       "(b) cost-constrained (cost <= %.0f gates): perf/power pareto" c_limit)
+    (Conex.Scenario.select (Conex.Scenario.Cost_constrained c_limit) designs);
+  print_menu
+    (Printf.sprintf
+       "(c) perf-constrained (latency <= %.2f cycles): cost/power pareto"
+       l_limit)
+    (Conex.Scenario.select (Conex.Scenario.Perf_constrained l_limit) designs)

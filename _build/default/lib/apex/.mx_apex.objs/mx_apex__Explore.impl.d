@@ -1,0 +1,1 @@
+lib/apex/explore.ml: Array Float List Mx_mem Mx_trace Mx_util Option Printf String

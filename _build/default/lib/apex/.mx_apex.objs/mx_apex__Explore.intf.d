@@ -1,0 +1,1 @@
+lib/apex/explore.mli: Mx_mem Mx_trace

@@ -1,0 +1,1 @@
+lib/connect/assign.ml: Cluster Conn_arch Hashtbl List

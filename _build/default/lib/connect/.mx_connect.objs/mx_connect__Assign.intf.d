@@ -1,0 +1,1 @@
+lib/connect/assign.mli: Channel Cluster Component Conn_arch

@@ -1,0 +1,1 @@
+lib/connect/brg.ml: Channel Format List Mx_mem

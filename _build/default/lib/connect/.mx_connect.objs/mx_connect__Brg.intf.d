@@ -1,0 +1,1 @@
+lib/connect/brg.mli: Channel Format Mx_mem

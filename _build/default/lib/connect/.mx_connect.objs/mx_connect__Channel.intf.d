@@ -1,0 +1,1 @@
+lib/connect/channel.mli: Format

@@ -1,0 +1,1 @@
+lib/connect/cluster.ml: Channel Float Format List Mx_util Printf String

@@ -1,0 +1,1 @@
+lib/connect/cluster.mli: Channel Format

@@ -1,0 +1,1 @@
+lib/connect/component.ml: Format List

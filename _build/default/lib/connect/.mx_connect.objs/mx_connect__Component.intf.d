@@ -1,0 +1,1 @@
+lib/connect/component.mli: Format

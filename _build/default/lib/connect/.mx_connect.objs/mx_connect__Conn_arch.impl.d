@@ -1,0 +1,1 @@
+lib/connect/conn_arch.ml: Channel Cluster Component Conn_cost Format List Printf String

@@ -1,0 +1,1 @@
+lib/connect/conn_arch.mli: Channel Cluster Component Format

@@ -1,0 +1,1 @@
+lib/connect/conn_cost.ml: Component

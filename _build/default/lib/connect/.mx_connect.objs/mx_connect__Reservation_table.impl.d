@@ -1,0 +1,1 @@
+lib/connect/reservation_table.ml: Array Component List

@@ -1,0 +1,37 @@
+let choices ~onchip ~offchip (cl : Cluster.t) =
+  let pool = if cl.Cluster.offchip then offchip else onchip in
+  List.filter (Conn_arch.feasible cl) pool
+
+let enumerate ?(max_designs = max_int) ~onchip ~offchip clusters =
+  let per_cluster = List.map (fun cl -> (cl, choices ~onchip ~offchip cl)) clusters in
+  if List.exists (fun (_, cs) -> cs = []) per_cluster then []
+  else begin
+    let out = ref [] and count = ref 0 in
+    let rec go acc = function
+      | [] ->
+        if !count < max_designs then begin
+          out := Conn_arch.make (List.rev acc) :: !out;
+          incr count
+        end
+      | (cl, cs) :: rest ->
+        List.iter (fun c -> if !count < max_designs then go ((cl, c) :: acc) rest) cs
+    in
+    go [] per_cluster;
+    List.rev !out
+  end
+
+let enumerate_levels ?(order = Cluster.Lowest_bandwidth_first)
+    ?(max_designs_per_level = max_int) ~onchip ~offchip channels =
+  let seen = Hashtbl.create 64 in
+  Cluster.levels_ordered order channels
+  |> List.concat_map (fun level ->
+         enumerate ~max_designs:max_designs_per_level ~onchip ~offchip level)
+  |> List.filter (fun arch ->
+         let key = Conn_arch.describe arch in
+         if Hashtbl.mem seen key then false
+         else begin
+           Hashtbl.add seen key ();
+           true
+         end)
+
+let count_levels channels = List.length (Cluster.levels channels)

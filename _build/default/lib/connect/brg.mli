@@ -1,0 +1,22 @@
+(** Bandwidth Requirement Graph construction.
+
+    The BRG's nodes are the cores of the memory architecture (CPU,
+    cache, SRAM, stream buffer, linked-list DMA, off-chip DRAM); its
+    arcs are the communication channels between them, labelled with the
+    average bandwidth the profiled application demands of each channel
+    (bytes per CPU access slot).  Built from a {!Mx_mem.Mem_sim.stats}
+    profile of a memory-modules architecture, exactly as the paper's
+    [ConnectivityExploration] procedure begins. *)
+
+type t = {
+  arch : Mx_mem.Mem_arch.t;
+  channels : Channel.t list;  (** only channels with non-zero traffic *)
+  accesses : int;  (** trace length the bandwidths are normalised by *)
+}
+
+val build : Mx_mem.Mem_arch.t -> Mx_mem.Mem_sim.stats -> t
+(** @raise Invalid_argument when the profile saw no accesses. *)
+
+val onchip_channels : t -> Channel.t list
+val offchip_channels : t -> Channel.t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+type kind =
+  | Dedicated
+  | Mux
+  | Amba_apb
+  | Amba_asb
+  | Amba_ahb
+  | Amba_ml_ahb
+  | Offchip_bus
+
+type t = {
+  kind : kind;
+  name : string;
+  width : int;
+  base_latency : int;
+  cycles_per_beat : int;
+  arb_overhead : int;
+  pipelined : bool;
+  split_txn : bool;
+  max_channels : int;
+  offchip : bool;
+}
+
+let kind_to_string = function
+  | Dedicated -> "dedicated"
+  | Mux -> "mux"
+  | Amba_apb -> "AMBA APB"
+  | Amba_asb -> "AMBA ASB"
+  | Amba_ahb -> "AMBA AHB"
+  | Amba_ml_ahb -> "AMBA multi-layer AHB"
+  | Offchip_bus -> "off-chip bus"
+
+let pp fmt c =
+  Format.fprintf fmt "%s (%s, %dB wide)" c.name (kind_to_string c.kind) c.width
+
+let beats c ~bytes = max 1 ((bytes + c.width - 1) / c.width)
+
+let txn_latency c ~bytes ~contended =
+  let arb = if contended then c.arb_overhead else 0 in
+  c.base_latency + (beats c ~bytes * c.cycles_per_beat) + arb
+
+let occupancy c ~bytes =
+  if c.pipelined then
+    (* overlapped phases: a new transaction can enter every beat train *)
+    beats c ~bytes * c.cycles_per_beat
+  else c.base_latency + (beats c ~bytes * c.cycles_per_beat)
+
+let mk kind name width base beat arb ~pipe ~split ~maxch ~off =
+  {
+    kind;
+    name;
+    width;
+    base_latency = base;
+    cycles_per_beat = beat;
+    arb_overhead = arb;
+    pipelined = pipe;
+    split_txn = split;
+    max_channels = maxch;
+    offchip = off;
+  }
+
+let library =
+  [
+    (* point-to-point links: zero arbitration, costly wires *)
+    mk Dedicated "ded32" 4 0 1 0 ~pipe:true ~split:false ~maxch:1 ~off:false;
+    mk Dedicated "ded64" 8 0 1 0 ~pipe:true ~split:false ~maxch:1 ~off:false;
+    (* MUX-based connection: static select, small fan-in *)
+    mk Mux "mux32" 4 0 1 1 ~pipe:false ~split:false ~maxch:4 ~off:false;
+    (* AMBA peripheral bus: cheap, slow (setup + enable per beat) *)
+    mk Amba_apb "apb32" 4 2 2 1 ~pipe:false ~split:false ~maxch:16 ~off:false;
+    (* AMBA system bus: single outstanding transaction *)
+    mk Amba_asb "asb32" 4 1 1 2 ~pipe:false ~split:false ~maxch:8 ~off:false;
+    (* AMBA high-performance bus: pipelined, split transactions *)
+    mk Amba_ahb "ahb32" 4 1 1 1 ~pipe:true ~split:true ~maxch:8 ~off:false;
+    mk Amba_ahb "ahb64" 8 1 1 1 ~pipe:true ~split:true ~maxch:8 ~off:false;
+    (* multi-layer AHB: per-layer point-to-point trunks, no shared-bus
+       arbitration penalty *)
+    mk Amba_ml_ahb "mlahb32" 4 1 1 0 ~pipe:true ~split:true ~maxch:8
+      ~off:false;
+    (* off-chip buses: pad-limited width, slower I/O clock *)
+    mk Offchip_bus "off8" 1 2 3 1 ~pipe:false ~split:false ~maxch:4 ~off:true;
+    mk Offchip_bus "off16" 2 2 3 1 ~pipe:false ~split:false ~maxch:4 ~off:true;
+    mk Offchip_bus "off32" 4 2 3 1 ~pipe:false ~split:false ~maxch:4 ~off:true;
+  ]
+
+let onchip_library = List.filter (fun c -> not c.offchip) library
+let offchip_library = List.filter (fun c -> c.offchip) library
+
+let by_name name =
+  match List.find_opt (fun c -> c.name = name) library with
+  | Some c -> c
+  | None -> raise Not_found

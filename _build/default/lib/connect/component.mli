@@ -1,0 +1,66 @@
+(** The connectivity IP library: datasheet records for every component
+    class the paper explores — dedicated point-to-point links,
+    MUX-based connections, the three AMBA buses (APB, ASB, AHB) and
+    off-chip buses.
+
+    Timing semantics (all in CPU cycles):
+    - a transaction of [b] bytes occupies the component for
+      [base_latency + ceil(b / width) * cycles_per_beat] cycles
+      end-to-end;
+    - a {e pipelined} component can start the next transaction after
+      its first beat completes (AHB overlapped address/data phases); a
+      non-pipelined one is busy for the whole transaction;
+    - a {e split-transaction} component releases the bus while the
+      far side (DRAM) is working; otherwise the bus is held during the
+      DRAM access;
+    - [arb_overhead] is added once per transaction whenever more than
+      one channel shares the component. *)
+
+type kind =
+  | Dedicated
+  | Mux
+  | Amba_apb
+  | Amba_asb
+  | Amba_ahb
+  | Amba_ml_ahb
+      (** multi-layer AHB: parallel layers remove trunk arbitration at a
+          steep wire-area cost (ARM's 2001 extension; explored here as
+          the paper's natural "beyond a single bus" direction) *)
+  | Offchip_bus
+
+type t = {
+  kind : kind;
+  name : string;
+  width : int;  (** data width in bytes *)
+  base_latency : int;
+  cycles_per_beat : int;
+  arb_overhead : int;
+  pipelined : bool;
+  split_txn : bool;
+  max_channels : int;  (** fan-in capacity: channels one instance can carry *)
+  offchip : bool;  (** true iff it can cross the chip boundary *)
+}
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit
+
+val beats : t -> bytes:int -> int
+(** Number of data beats for a transfer of [bytes] (at least 1). *)
+
+val txn_latency : t -> bytes:int -> contended:bool -> int
+(** End-to-end cycles for one transaction, including arbitration when
+    [contended]. *)
+
+val occupancy : t -> bytes:int -> int
+(** Cycles the component is unavailable to other masters for this
+    transaction (smaller than {!txn_latency} for pipelined
+    components). *)
+
+val library : t list
+(** The standard catalogue used by the experiments. *)
+
+val onchip_library : t list
+val offchip_library : t list
+
+val by_name : string -> t
+(** @raise Not_found for an unknown component name. *)

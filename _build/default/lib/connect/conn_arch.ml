@@ -1,0 +1,49 @@
+type binding = { cluster : Cluster.t; component : Component.t }
+
+type t = { bindings : binding list; cost_gates : int }
+
+let feasible (cl : Cluster.t) (c : Component.t) =
+  List.length cl.Cluster.channels <= c.Component.max_channels
+  && cl.Cluster.offchip = c.Component.offchip
+
+let make pairs =
+  let bindings =
+    List.map
+      (fun (cluster, component) ->
+        if not (feasible cluster component) then
+          invalid_arg
+            (Printf.sprintf "Conn_arch.make: %s cannot carry %s"
+               component.Component.name (Cluster.describe cluster));
+        { cluster; component })
+      pairs
+  in
+  let cost_gates =
+    List.fold_left
+      (fun acc b ->
+        acc
+        + Conn_cost.cost_gates b.component
+            ~channels:(List.length b.cluster.Cluster.channels))
+      0 bindings
+  in
+  { bindings; cost_gates }
+
+let lookup t (ch : Channel.t) =
+  match
+    List.find_opt
+      (fun b -> List.exists (Channel.same_endpoints ch) b.cluster.Cluster.channels)
+      t.bindings
+  with
+  | Some b -> b
+  | None -> raise Not_found
+
+let sharers t ch = List.length (lookup t ch).cluster.Cluster.channels
+
+let describe t =
+  t.bindings
+  |> List.map (fun b ->
+         Printf.sprintf "%s%s" b.component.Component.name
+           (Cluster.describe b.cluster))
+  |> String.concat " + "
+
+let pp fmt t =
+  Format.fprintf fmt "%s (%d gates)" (describe t) t.cost_gates

@@ -1,0 +1,31 @@
+(** A connectivity architecture: an assignment of every logical
+    connection (cluster) to a physical component instance from the
+    library — e.g. Fig. 2(b) of the paper: two AMBA buses, one
+    dedicated connection, one off-chip bus. *)
+
+type binding = { cluster : Cluster.t; component : Component.t }
+
+type t = private {
+  bindings : binding list;
+  cost_gates : int;  (** total connectivity area *)
+}
+
+val make : (Cluster.t * Component.t) list -> t
+(** @raise Invalid_argument when a component cannot legally carry its
+    cluster (fan-in exceeded, or boundary class mismatch). *)
+
+val feasible : Cluster.t -> Component.t -> bool
+(** The static legality check [make] enforces per binding. *)
+
+val lookup : t -> Channel.t -> binding
+(** The binding that carries a channel (by endpoints).
+    @raise Not_found when the channel is not in any cluster. *)
+
+val sharers : t -> Channel.t -> int
+(** Number of channels sharing the component that carries this
+    channel. *)
+
+val describe : t -> string
+(** e.g. ["ahb32{CPU<->cache} + off32{cache<->DRAM}"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+let cost_gates (c : Component.t) ~channels =
+  if channels <= 0 then invalid_arg "Conn_cost.cost_gates: no channels";
+  if channels > c.max_channels then
+    invalid_arg "Conn_cost.cost_gates: fan-in capacity exceeded";
+  let bits = c.width * 8 in
+  match c.kind with
+  | Component.Dedicated ->
+    (* private long wires, no arbitration *)
+    (bits * 180) + 100
+  | Component.Mux ->
+    (* per-source wires into a mux tree plus select logic *)
+    (channels * bits * 140) + (bits * 60) + 300
+  | Component.Amba_apb -> 800 + (channels * bits * 25) + (bits * 80)
+  | Component.Amba_asb -> 1500 + (channels * bits * 30) + (bits * 90)
+  | Component.Amba_ahb ->
+    (* pipelined arbiter + split-transaction bookkeeping *)
+    3500 + (channels * bits * 35) + (bits * 100)
+  | Component.Amba_ml_ahb ->
+    (* one full-width layer (trunk + mux matrix) per connected channel *)
+    5000 + (channels * bits * 150) + (bits * 120)
+  | Component.Offchip_bus ->
+    (* pad ring share + board-level driver control *)
+    1000 + (bits * 250) + (channels * bits * 20)
+
+let energy_per_byte (c : Component.t) =
+  match c.kind with
+  | Component.Dedicated -> 0.08 (* long point-to-point wires *)
+  | Component.Mux -> 0.05
+  | Component.Amba_apb -> 0.03 (* low-power peripheral bus *)
+  | Component.Amba_asb -> 0.05
+  | Component.Amba_ahb -> 0.07 (* heavier trunk loading *)
+  | Component.Amba_ml_ahb -> 0.10 (* many parallel trunks *)
+  | Component.Offchip_bus -> 0.50 (* pad and trace capacitance *)
+
+let wire_overhead_note =
+  "wire area per Chen et al. (ICCAD'99) / Deng-Maly (ISPD'01) style \
+   gate-equivalent models; calibrated to early-2000s 0.18um libraries"

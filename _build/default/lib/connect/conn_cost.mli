@@ -1,0 +1,23 @@
+(** Cost (gates) and energy (nJ) models for connectivity components,
+    after the wire-area models the paper takes from Chen et al. and
+    Deng & Maly.
+
+    Point-to-point structures (dedicated links, MUX trees) buy latency
+    with long private wires: area grows with fan-in and width.  Shared
+    buses amortise one trunk over many ports but pay arbitration.
+    Off-chip buses are pad-dominated: expensive per beat in energy,
+    fixed pad area in gates.  Connectivity cost is small next to the
+    memory modules (hundreds to a few thousand gates versus hundreds of
+    thousands), matching the small cost deltas between connectivity
+    variants in the paper's Table 1. *)
+
+val cost_gates : Component.t -> channels:int -> int
+(** Area of one component instance carrying [channels] channels.
+    @raise Invalid_argument when [channels] exceeds the component's
+    fan-in capacity or is non-positive. *)
+
+val energy_per_byte : Component.t -> float
+(** Switching energy per payload byte moved across the component. *)
+
+val wire_overhead_note : string
+(** One-line provenance note for reports. *)

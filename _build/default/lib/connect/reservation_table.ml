@@ -1,0 +1,79 @@
+type slot = { resource : int; offset : int; duration : int }
+
+type template = slot list
+
+(* Per-resource sorted interval lists (start, stop), half-open. *)
+type t = { intervals : (int * int) list array }
+
+let create ~n_resources =
+  if n_resources <= 0 then
+    invalid_arg "Reservation_table.create: need at least one resource";
+  { intervals = Array.make n_resources [] }
+
+let overlaps (a0, a1) (b0, b1) = a0 < b1 && b0 < a1
+
+let fits t ~at template =
+  List.for_all
+    (fun s ->
+      if s.resource < 0 || s.resource >= Array.length t.intervals then
+        invalid_arg "Reservation_table.fits: bad resource index";
+      if s.duration <= 0 then true
+      else
+        let iv = (at + s.offset, at + s.offset + s.duration) in
+        not (List.exists (overlaps iv) t.intervals.(s.resource)))
+    template
+
+let reserve t ~at template =
+  if not (fits t ~at template) then
+    invalid_arg "Reservation_table.reserve: conflict";
+  List.iter
+    (fun s ->
+      if s.duration > 0 then
+        t.intervals.(s.resource) <-
+          (at + s.offset, at + s.offset + s.duration) :: t.intervals.(s.resource))
+    template
+
+let earliest_fit t ~from template =
+  (* candidate starts: [from] plus every reserved interval end shifted by
+     each slot offset; one of these is the earliest feasible start *)
+  let candidates = ref [ from ] in
+  List.iter
+    (fun s ->
+      if s.duration > 0 then
+        List.iter
+          (fun (_, stop) ->
+            let c = stop - s.offset in
+            if c >= from then candidates := c :: !candidates)
+          t.intervals.(s.resource))
+    template;
+  let sorted = List.sort_uniq compare !candidates in
+  match List.find_opt (fun at -> fits t ~at template) sorted with
+  | Some at -> at
+  | None ->
+    (* cannot happen: the largest candidate is past every reservation *)
+    assert false
+
+let release_before t cycle =
+  Array.iteri
+    (fun i ivs -> t.intervals.(i) <- List.filter (fun (_, stop) -> stop >= cycle) ivs)
+    t.intervals
+
+(* Resource 0: arbitration/address stage.  Resource 1: data path. *)
+let template_for (c : Component.t) ~bytes =
+  let nbeats = Component.beats c ~bytes in
+  let data = nbeats * c.cycles_per_beat in
+  if c.pipelined then
+    [
+      { resource = 0; offset = 0; duration = max 1 c.base_latency };
+      { resource = 1; offset = c.base_latency; duration = data };
+    ]
+  else [ { resource = 0; offset = 0; duration = c.base_latency + data } ]
+
+let latency_of template =
+  List.fold_left (fun acc s -> max acc (s.offset + s.duration)) 0 template
+
+let initiation_interval c ~bytes =
+  let t = create ~n_resources:2 in
+  let tpl = template_for c ~bytes in
+  reserve t ~at:0 tpl;
+  earliest_fit t ~from:0 tpl

@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Array Design Format Mx_util Strategy

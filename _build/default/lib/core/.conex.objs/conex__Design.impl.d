@@ -1,0 +1,1 @@
+lib/core/design.ml: Format Mx_connect Mx_mem Mx_sim

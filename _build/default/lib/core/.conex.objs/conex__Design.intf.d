@@ -1,0 +1,1 @@
+lib/core/design.mli: Format Mx_connect Mx_mem Mx_sim

@@ -1,0 +1,1 @@
+lib/core/explore.mli: Design Mx_apex Mx_connect Mx_trace

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Char Design Float Fun List Mx_connect Mx_mem Mx_sim Mx_util Printf String

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Design List Mx_util Printf

@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Design Explore Float List Mx_apex Mx_connect Mx_sim Mx_trace Mx_util Unix

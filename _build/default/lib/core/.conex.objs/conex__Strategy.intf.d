@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Design Explore Mx_trace

@@ -1,0 +1,43 @@
+type report = {
+  strategy : Strategy.kind;
+  wall_seconds : float;
+  n_estimates : int;
+  n_simulations : int;
+  coverage_pct : float;
+  avg_cost_dist_pct : float;
+  avg_perf_dist_pct : float;
+  avg_energy_dist_pct : float;
+}
+
+let eval ~(reference : Strategy.outcome) (o : Strategy.outcome) =
+  if reference.Strategy.kind <> Strategy.Full then
+    invalid_arg "Coverage.eval: reference must be the Full strategy";
+  let axes = [ Design.cost; Design.latency; Design.energy ] in
+  let c =
+    Mx_util.Pareto.Coverage.eval ~axes ~equal:Design.equal_structure
+      ~reference:reference.Strategy.pareto_cost_perf
+      ~explored:o.Strategy.designs
+  in
+  let dist i =
+    if Array.length c.Mx_util.Pareto.Coverage.avg_dist_pct > i then
+      c.Mx_util.Pareto.Coverage.avg_dist_pct.(i)
+    else 0.0
+  in
+  {
+    strategy = o.Strategy.kind;
+    wall_seconds = o.Strategy.wall_seconds;
+    n_estimates = o.Strategy.n_estimates;
+    n_simulations = o.Strategy.n_simulations;
+    coverage_pct = c.Mx_util.Pareto.Coverage.coverage_pct;
+    avg_cost_dist_pct = dist 0;
+    avg_perf_dist_pct = dist 1;
+    avg_energy_dist_pct = dist 2;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "%-12s %7.2fs  %6d est  %6d sim  coverage %5.1f%%  dist c/p/e %.2f%% / \
+     %.2f%% / %.2f%%"
+    (Strategy.kind_to_string r.strategy)
+    r.wall_seconds r.n_estimates r.n_simulations r.coverage_pct
+    r.avg_cost_dist_pct r.avg_perf_dist_pct r.avg_energy_dist_pct

@@ -1,0 +1,25 @@
+(** Pareto-coverage accounting for Table 2 of the paper.
+
+    Compares a heuristic strategy's simulated designs against the true
+    pareto front established by the Full strategy: what fraction of the
+    true front was found exactly (by architecture identity), and — for
+    the missed points — how far away (percent, per axis) the nearest
+    explored design lands. *)
+
+type report = {
+  strategy : Strategy.kind;
+  wall_seconds : float;
+  n_estimates : int;
+  n_simulations : int;
+  coverage_pct : float;
+  avg_cost_dist_pct : float;
+  avg_perf_dist_pct : float;
+  avg_energy_dist_pct : float;
+}
+
+val eval : reference:Strategy.outcome -> Strategy.outcome -> report
+(** [eval ~reference outcome]: [reference] must be the Full strategy's
+    outcome (its cost/perf pareto front is the ground truth).
+    @raise Invalid_argument when [reference] is not a [Full] outcome. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,45 @@
+type t = {
+  workload_name : string;
+  mem : Mx_mem.Mem_arch.t;
+  conn : Mx_connect.Conn_arch.t;
+  cost_gates : int;
+  est : Mx_sim.Sim_result.t option;
+  sim : Mx_sim.Sim_result.t option;
+}
+
+let make ~workload_name ~mem ~conn ?est ?sim () =
+  {
+    workload_name;
+    mem;
+    conn;
+    cost_gates =
+      Mx_mem.Mem_arch.cost_gates mem
+      + conn.Mx_connect.Conn_arch.cost_gates;
+    est;
+    sim;
+  }
+
+let with_sim t sim = { t with sim = Some sim }
+
+let best_result t =
+  match (t.sim, t.est) with
+  | Some s, _ -> s
+  | None, Some e -> e
+  | None, None -> invalid_arg "Design.best_result: unevaluated design"
+
+let cost t = float_of_int t.cost_gates
+let latency t = (best_result t).Mx_sim.Sim_result.avg_mem_latency
+let energy t = (best_result t).Mx_sim.Sim_result.avg_energy_nj
+
+let id t =
+  t.mem.Mx_mem.Mem_arch.label ^ " | "
+  ^ Mx_connect.Conn_arch.describe t.conn
+
+let equal_structure a b = id a = id b
+
+let pp fmt t =
+  let r = best_result t in
+  Format.fprintf fmt "%-60s %8d gates  %7.2f cy  %6.2f nJ%s" (id t)
+    t.cost_gates r.Mx_sim.Sim_result.avg_mem_latency
+    r.Mx_sim.Sim_result.avg_energy_nj
+    (if t.sim <> None then "" else " (est)")

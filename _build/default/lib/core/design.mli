@@ -1,0 +1,45 @@
+(** A combined memory-modules + connectivity design point — the object
+    ConEx explores, prunes, simulates and finally hands to the
+    designer. *)
+
+type t = {
+  workload_name : string;
+  mem : Mx_mem.Mem_arch.t;
+  conn : Mx_connect.Conn_arch.t;
+  cost_gates : int;  (** memory modules + connectivity *)
+  est : Mx_sim.Sim_result.t option;  (** Phase I estimate *)
+  sim : Mx_sim.Sim_result.t option;  (** Phase II full simulation *)
+}
+
+val make :
+  workload_name:string ->
+  mem:Mx_mem.Mem_arch.t ->
+  conn:Mx_connect.Conn_arch.t ->
+  ?est:Mx_sim.Sim_result.t ->
+  ?sim:Mx_sim.Sim_result.t ->
+  unit ->
+  t
+
+val with_sim : t -> Mx_sim.Sim_result.t -> t
+
+val best_result : t -> Mx_sim.Sim_result.t
+(** The most accurate metrics available: simulation when present, else
+    the estimate.  @raise Invalid_argument when the design has
+    neither. *)
+
+val cost : t -> float
+(** Cost axis (gates, as float for pareto machinery). *)
+
+val latency : t -> float
+(** Performance axis: average memory latency from {!best_result}. *)
+
+val energy : t -> float
+(** Power axis: average nJ/access from {!best_result}. *)
+
+val id : t -> string
+(** Structural identity (memory label + connectivity description) —
+    stable across estimate/simulate, used for pareto-coverage
+    matching. *)
+
+val equal_structure : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,143 @@
+module Component = Mx_connect.Component
+module Conn_arch = Mx_connect.Conn_arch
+module Brg = Mx_connect.Brg
+module Assign = Mx_connect.Assign
+
+type config = {
+  apex : Mx_apex.Explore.config;
+  onchip : Component.t list;
+  offchip : Component.t list;
+  max_designs_per_level : int;
+  phase1_keep : int;
+  sample : (int * int) option;
+  refine_top : int;
+}
+
+let default_config =
+  {
+    apex = Mx_apex.Explore.default_config;
+    onchip = Component.onchip_library;
+    offchip = Component.offchip_library;
+    max_designs_per_level = 4096;
+    phase1_keep = 24;
+    sample = None;
+    refine_top = 16;
+  }
+
+let reduced_config =
+  {
+    apex = Mx_apex.Explore.reduced_config;
+    onchip =
+      List.filter
+        (fun (c : Component.t) ->
+          List.mem c.Component.name [ "mux32"; "apb32"; "asb32"; "ahb32" ])
+        Component.onchip_library;
+    offchip =
+      List.filter
+        (fun (c : Component.t) -> c.Component.name = "off32")
+        Component.offchip_library;
+    max_designs_per_level = 1024;
+    phase1_keep = 12;
+    sample = None;
+    refine_top = 8;
+  }
+
+type result = {
+  workload : Mx_trace.Workload.t;
+  apex_selected : Mx_apex.Explore.candidate list;
+  estimated : Design.t list;
+  simulated : Design.t list;
+  pareto_cost_perf : Design.t list;
+  n_estimates : int;
+  n_simulations : int;
+  wall_seconds : float;
+}
+
+let connectivity_exploration cfg workload (cand : Mx_apex.Explore.candidate) =
+  let brg = Brg.build cand.Mx_apex.Explore.arch cand.Mx_apex.Explore.profile in
+  let conns =
+    Assign.enumerate_levels ~max_designs_per_level:cfg.max_designs_per_level
+      ~onchip:cfg.onchip ~offchip:cfg.offchip brg.Brg.channels
+  in
+  List.map
+    (fun conn ->
+      let est =
+        Mx_sim.Estimator.estimate ~workload ~arch:cand.Mx_apex.Explore.arch
+          ~profile:cand.Mx_apex.Explore.profile ~conn
+      in
+      Design.make ~workload_name:workload.Mx_trace.Workload.name
+        ~mem:cand.Mx_apex.Explore.arch ~conn ~est ())
+    conns
+
+let axes = [ Design.cost; Design.latency; Design.energy ]
+
+let thin_by_cost ~keep designs =
+  let n = List.length designs in
+  if n <= keep || keep <= 0 then designs
+  else begin
+    let arr = Array.of_list (Mx_util.Pareto.sort_by Design.cost designs) in
+    List.init keep (fun i -> arr.(i * (n - 1) / (keep - 1)))
+  end
+
+let local_promising cfg designs =
+  Mx_util.Pareto.front ~axes designs |> thin_by_cost ~keep:cfg.phase1_keep
+
+let simulate cfg workload (d : Design.t) =
+  let sim =
+    Mx_sim.Cycle_sim.run ?sample:cfg.sample ~workload ~arch:d.Design.mem
+      ~conn:d.Design.conn ()
+  in
+  Design.with_sim d sim
+
+let run ?(config = default_config) workload =
+  let t0 = Unix.gettimeofday () in
+  let profile = Mx_trace.Profile.analyze workload in
+  let apex_selected = Mx_apex.Explore.select ~config:config.apex profile in
+  (* Phase I: estimate the connectivity space of each selected memory
+     architecture and keep the locally promising points *)
+  let estimated = ref [] in
+  let survivors =
+    List.concat_map
+      (fun cand ->
+        let ests = connectivity_exploration config workload cand in
+        estimated := List.rev_append ests !estimated;
+        local_promising config ests)
+      apex_selected
+  in
+  (* Phase II: simulation of the combined candidates (optionally
+     time-sampled), then the global selection; with sampling enabled the
+     most promising sampled designs are refined by exact simulation, as
+     in the paper *)
+  let simulated = List.map (simulate config workload) survivors in
+  let simulated =
+    match config.sample with
+    | Some _ when config.refine_top > 0 ->
+      let front =
+        Mx_util.Pareto.front2 ~x:Design.cost ~y:Design.latency simulated
+      in
+      let to_refine =
+        List.filteri (fun i _ -> i < config.refine_top) front
+      in
+      List.map
+        (fun d ->
+          if List.exists (Design.equal_structure d) to_refine then
+            Design.with_sim d
+              (Mx_sim.Cycle_sim.run ~workload ~arch:d.Design.mem
+                 ~conn:d.Design.conn ())
+          else d)
+        simulated
+    | _ -> simulated
+  in
+  let pareto_cost_perf =
+    Mx_util.Pareto.front2 ~x:Design.cost ~y:Design.latency simulated
+  in
+  {
+    workload;
+    apex_selected;
+    estimated = List.rev !estimated;
+    simulated;
+    pareto_cost_perf;
+    n_estimates = List.length !estimated;
+    n_simulations = List.length simulated;
+    wall_seconds = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,72 @@
+(** ConEx: the Connectivity Exploration algorithm (Section 5 of the
+    paper).
+
+    {b Procedure ConnectivityExploration} (per memory architecture):
+    profile the memory-modules architecture, construct the Bandwidth
+    Requirement Graph, then walk the hierarchical clustering levels —
+    at each level enumerate feasible assignments of logical connections
+    to physical components from the connectivity library and estimate
+    each candidate's cost, performance and power.
+
+    {b Algorithm ConEx} (two phases): Phase I runs the procedure for
+    every APEX-selected memory architecture and keeps only each
+    architecture's locally most promising (pareto) points; Phase II
+    fully simulates the combined survivors and selects the global
+    pareto designs. *)
+
+type config = {
+  apex : Mx_apex.Explore.config;
+  onchip : Mx_connect.Component.t list;
+  offchip : Mx_connect.Component.t list;
+  max_designs_per_level : int;
+      (** cap on assignments enumerated per clustering level *)
+  phase1_keep : int;
+      (** cap on locally-kept designs per memory architecture *)
+  sample : (int * int) option;
+      (** when set, Phase II uses time-sampled simulation at this
+          on/off ratio instead of exact simulation (the paper's 1/9
+          sampling); [None] = exact *)
+  refine_top : int;
+      (** when [sample] is set and [refine_top > 0], the designs on the
+          sampled cost/performance front are re-simulated exactly (up to
+          this many) — the paper's "we then use full simulation for the
+          most promising designs, to further refine the tradeoff
+          choices"; ignored when [sample = None] *)
+}
+
+val default_config : config
+val reduced_config : config
+(** Trimmed module and component catalogues so that even the Full
+    strategy terminates quickly; used by Table 2 and the test suite. *)
+
+type result = {
+  workload : Mx_trace.Workload.t;
+  apex_selected : Mx_apex.Explore.candidate list;
+  estimated : Design.t list;
+      (** every Phase I estimate across all memory architectures *)
+  simulated : Design.t list;  (** Phase II simulated survivors *)
+  pareto_cost_perf : Design.t list;
+      (** cost/performance front of the simulated designs *)
+  n_estimates : int;
+  n_simulations : int;
+  wall_seconds : float;
+}
+
+val connectivity_exploration :
+  config ->
+  Mx_trace.Workload.t ->
+  Mx_apex.Explore.candidate ->
+  Design.t list
+(** One memory architecture: BRG, clustering levels, feasible
+    assignments, estimation.  Returns estimated (unsimulated) design
+    points. *)
+
+val local_promising : config -> Design.t list -> Design.t list
+(** Phase I selection: the 3-objective (cost, latency, energy) pareto
+    front of one architecture's estimates, thinned to
+    [config.phase1_keep]. *)
+
+val run : ?config:config -> Mx_trace.Workload.t -> result
+(** The full two-phase ConEx algorithm: APEX selection, per-architecture
+    connectivity exploration, local selection, full simulation of the
+    combined set, global pareto. *)

@@ -1,0 +1,103 @@
+let design_table ?(title = "") designs =
+  ignore title;
+  let t =
+    Mx_util.Table.create
+      ~headers:
+        [ "cost [gates]"; "avg mem latency [cycles]"; "avg energy [nJ]";
+          "architecture" ]
+  in
+  List.iter
+    (fun d ->
+      Mx_util.Table.add_row t
+        [
+          string_of_int d.Design.cost_gates;
+          Printf.sprintf "%.2f" (Design.latency d);
+          Printf.sprintf "%.2f" (Design.energy d);
+          Design.id d;
+        ])
+    (Mx_util.Pareto.sort_by Design.cost designs);
+  t
+
+let print_designs ~title designs =
+  print_endline title;
+  Mx_util.Table.print (design_table designs)
+
+let annotate designs =
+  let sorted = Mx_util.Pareto.sort_by Design.cost designs in
+  List.mapi
+    (fun i d ->
+      let label =
+        if i < 26 then String.make 1 (Char.chr (Char.code 'a' + i))
+        else Printf.sprintf "a%d" (i - 25)
+      in
+      (label, d))
+    sorted
+
+let scatter ~x ~y designs = List.map (fun d -> (x d, y d)) designs
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv designs =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "workload,memory,connectivity,cost_gates,avg_mem_latency_cycles,avg_energy_nj,miss_ratio,exact\n";
+  List.iter
+    (fun d ->
+      let r = Design.best_result d in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%d,%.4f,%.4f,%.6f,%b\n"
+           (csv_field d.Design.workload_name)
+           (csv_field d.Design.mem.Mx_mem.Mem_arch.label)
+           (csv_field (Mx_connect.Conn_arch.describe d.Design.conn))
+           d.Design.cost_gates r.Mx_sim.Sim_result.avg_mem_latency
+           r.Mx_sim.Sim_result.avg_energy_nj r.Mx_sim.Sim_result.miss_ratio
+           r.Mx_sim.Sim_result.exact))
+    (Mx_util.Pareto.sort_by Design.cost designs);
+  Buffer.contents buf
+
+let save_csv designs ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv designs))
+
+let ascii_scatter ?(width = 72) ?(height = 20) ~x ~y ~highlight designs =
+  if designs = [] then "(no designs)\n"
+  else begin
+    let xs = List.map x designs and ys = List.map y designs in
+    let xmin = List.fold_left Float.min infinity xs
+    and xmax = List.fold_left Float.max neg_infinity xs
+    and ymin = List.fold_left Float.min infinity ys
+    and ymax = List.fold_left Float.max neg_infinity ys in
+    let xspan = if xmax > xmin then xmax -. xmin else 1.0
+    and yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    let plot ch d =
+      let cx =
+        int_of_float ((x d -. xmin) /. xspan *. float_of_int (width - 1))
+      and cy =
+        int_of_float ((y d -. ymin) /. yspan *. float_of_int (height - 1))
+      in
+      (* y grows upward in the plot *)
+      grid.(height - 1 - cy).(cx) <- ch
+    in
+    List.iter (plot '.') designs;
+    List.iter (plot '#') highlight;
+    let buf = Buffer.create (width * height) in
+    Buffer.add_string buf
+      (Printf.sprintf "%.4g .. %.4g (y)  vs  %.4g .. %.4g (x)\n" ymin ymax
+         xmin xmax);
+    Array.iter
+      (fun row ->
+        Buffer.add_char buf '|';
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end

@@ -1,0 +1,42 @@
+(** Paper-style reporting of exploration results: the rows of Table 1,
+    the point clouds of Figs. 3/4 and the annotated pareto designs of
+    Fig. 6. *)
+
+val design_table :
+  ?title:string -> Design.t list -> Mx_util.Table.t
+(** Columns: cost [gates], avg mem latency [cycles], avg energy [nJ],
+    architecture description — the paper's Table 1 plus the identity
+    column.  Rows sorted by increasing cost. *)
+
+val print_designs : title:string -> Design.t list -> unit
+
+val annotate : Design.t list -> (string * Design.t) list
+(** Label the designs [a], [b], [c], ... in increasing-cost order, as
+    Fig. 6 labels its pareto architectures. *)
+
+val scatter :
+  x:(Design.t -> float) ->
+  y:(Design.t -> float) ->
+  Design.t list ->
+  (float * float) list
+(** Raw series for external plotting. *)
+
+val to_csv : Design.t list -> string
+(** CSV rows: workload, memory architecture, connectivity, cost [gates],
+    avg memory latency [cycles], avg energy [nJ], miss ratio, and
+    whether the metrics come from exact simulation.  Fields containing
+    commas or quotes are quoted per RFC 4180. *)
+
+val save_csv : Design.t list -> path:string -> unit
+(** Write {!to_csv} output to a file (overwrites). *)
+
+val ascii_scatter :
+  ?width:int -> ?height:int ->
+  x:(Design.t -> float) ->
+  y:(Design.t -> float) ->
+  highlight:Design.t list ->
+  Design.t list ->
+  string
+(** Terminal scatter plot: ['.'] for explored designs, ['#'] for
+    highlighted (pareto) ones.  Axes are linearly scaled to the data
+    range. *)

@@ -1,0 +1,24 @@
+type t =
+  | Power_constrained of float
+  | Cost_constrained of float
+  | Perf_constrained of float
+
+let to_string = function
+  | Power_constrained e -> Printf.sprintf "power-constrained (<= %.2f nJ)" e
+  | Cost_constrained c -> Printf.sprintf "cost-constrained (<= %.0f gates)" c
+  | Perf_constrained l -> Printf.sprintf "perf-constrained (<= %.2f cycles)" l
+
+let frontier_axes = function
+  | Power_constrained _ -> (Design.cost, Design.latency)
+  | Cost_constrained _ -> (Design.latency, Design.energy)
+  | Perf_constrained _ -> (Design.cost, Design.energy)
+
+let constraint_holds t d =
+  match t with
+  | Power_constrained e -> Design.energy d <= e
+  | Cost_constrained c -> Design.cost d <= c
+  | Perf_constrained l -> Design.latency d <= l
+
+let select t designs =
+  let x, y = frontier_axes t in
+  designs |> List.filter (constraint_holds t) |> Mx_util.Pareto.front2 ~x ~y

@@ -1,0 +1,28 @@
+(** Constrained design selection — Section 5, Phase II of the paper.
+
+    Cost, performance and power are mutually incompatible goals; the
+    paper resolves the 3-objective selection through three scenarios,
+    each treating one metric as a hard constraint and computing the
+    pareto front over the other two:
+
+    - {e power-constrained}: energy <= threshold, cost/performance
+      pareto;
+    - {e cost-constrained}: cost <= threshold, performance/power
+      pareto;
+    - {e performance-constrained}: latency <= threshold, cost/power
+      pareto. *)
+
+type t =
+  | Power_constrained of float  (** max average nJ per access *)
+  | Cost_constrained of float  (** max gates *)
+  | Perf_constrained of float  (** max average memory latency, cycles *)
+
+val to_string : t -> string
+
+val select : t -> Design.t list -> Design.t list
+(** Filter by the constraint, then return the pareto front over the two
+    free objectives, sorted by the first of them.  Designs violating
+    the constraint are dropped even if nothing else survives. *)
+
+val frontier_axes : t -> (Design.t -> float) * (Design.t -> float)
+(** The two free objectives of a scenario (x, y), for reporting. *)

@@ -1,0 +1,145 @@
+type kind = Pruned | Neighborhood | Full
+
+exception Full_infeasible of { projected_sims : int; budget : int }
+
+type outcome = {
+  kind : kind;
+  designs : Design.t list;
+  pareto_cost_perf : Design.t list;
+  n_estimates : int;
+  n_simulations : int;
+  wall_seconds : float;
+}
+
+let kind_to_string = function
+  | Pruned -> "Pruned"
+  | Neighborhood -> "Neighborhood"
+  | Full -> "Full"
+
+(* nearest non-selected estimates around each selected point, measured
+   on span-normalised (cost, latency, energy) axes *)
+let neighbors_of ~k selected all =
+  let axes = [ Design.cost; Design.latency; Design.energy ] in
+  let spans =
+    List.map
+      (fun f ->
+        let vs = List.map f all in
+        let lo = List.fold_left Float.min infinity vs
+        and hi = List.fold_left Float.max neg_infinity vs in
+        let s = hi -. lo in
+        if s <= 0.0 then 1.0 else s)
+      axes
+  in
+  let dist2 a b =
+    List.fold_left2
+      (fun acc f s ->
+        let d = (f a -. f b) /. s in
+        acc +. (d *. d))
+      0.0 axes spans
+  in
+  let rest =
+    List.filter
+      (fun d -> not (List.exists (Design.equal_structure d) selected))
+      all
+  in
+  List.concat_map
+    (fun p ->
+      rest
+      |> List.map (fun d -> (dist2 p d, d))
+      |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+      |> List.filteri (fun i _ -> i < k)
+      |> List.map snd)
+    selected
+  |> List.fold_left
+       (fun acc d ->
+         if List.exists (Design.equal_structure d) acc then acc else d :: acc)
+       []
+  |> List.rev
+
+let finish kind ~n_estimates ~t0 simulated =
+  {
+    kind;
+    designs = simulated;
+    pareto_cost_perf =
+      Mx_util.Pareto.front2 ~x:Design.cost ~y:Design.latency simulated;
+    n_estimates;
+    n_simulations = List.length simulated;
+    wall_seconds = Unix.gettimeofday () -. t0;
+  }
+
+let run ?(config = Explore.default_config) ?(neighbors = 2)
+    ?(full_budget = 300_000) kind workload =
+  let t0 = Unix.gettimeofday () in
+  match kind with
+  | Pruned ->
+    let r = Explore.run ~config workload in
+    finish Pruned ~n_estimates:r.Explore.n_estimates ~t0 r.Explore.simulated
+  | Neighborhood ->
+    let profile = Mx_trace.Profile.analyze workload in
+    (* widen the memory-architecture net: the full APEX pareto front *)
+    let apex_front =
+      Mx_apex.Explore.explore ~config:config.Explore.apex profile
+      |> Mx_apex.Explore.pareto
+    in
+    let n_estimates = ref 0 in
+    let survivors =
+      List.concat_map
+        (fun cand ->
+          let ests = Explore.connectivity_exploration config workload cand in
+          n_estimates := !n_estimates + List.length ests;
+          let selected = Explore.local_promising config ests in
+          selected @ neighbors_of ~k:neighbors selected ests)
+        apex_front
+    in
+    let simulated =
+      List.map
+        (fun (d : Design.t) ->
+          Design.with_sim d
+            (Mx_sim.Cycle_sim.run ?sample:config.Explore.sample ~workload
+               ~arch:d.Design.mem ~conn:d.Design.conn ()))
+        survivors
+    in
+    finish Neighborhood ~n_estimates:!n_estimates ~t0 simulated
+  | Full ->
+    let profile = Mx_trace.Profile.analyze workload in
+    let all_archs =
+      Mx_apex.Explore.explore ~config:config.Explore.apex profile
+    in
+    (* project the simulation count before committing *)
+    let per_arch =
+      List.map
+        (fun (cand : Mx_apex.Explore.candidate) ->
+          let brg =
+            Mx_connect.Brg.build cand.Mx_apex.Explore.arch
+              cand.Mx_apex.Explore.profile
+          in
+          let conns =
+            Mx_connect.Assign.enumerate_levels
+              ~max_designs_per_level:config.Explore.max_designs_per_level
+              ~onchip:config.Explore.onchip ~offchip:config.Explore.offchip
+              brg.Mx_connect.Brg.channels
+          in
+          (cand, conns))
+        all_archs
+    in
+    let projected =
+      List.fold_left (fun acc (_, cs) -> acc + List.length cs) 0 per_arch
+    in
+    if projected > full_budget then
+      raise (Full_infeasible { projected_sims = projected; budget = full_budget });
+    let simulated =
+      List.concat_map
+        (fun ((cand : Mx_apex.Explore.candidate), conns) ->
+          List.map
+            (fun conn ->
+              let d =
+                Design.make ~workload_name:workload.Mx_trace.Workload.name
+                  ~mem:cand.Mx_apex.Explore.arch ~conn ()
+              in
+              Design.with_sim d
+                (Mx_sim.Cycle_sim.run ?sample:config.Explore.sample ~workload
+                   ~arch:d.Design.mem ~conn ()))
+            conns)
+        per_arch
+    in
+    finish Full ~n_estimates:0 ~t0 simulated

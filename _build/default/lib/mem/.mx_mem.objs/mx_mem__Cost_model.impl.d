@@ -1,0 +1,1 @@
+lib/mem/cost_model.ml: Params

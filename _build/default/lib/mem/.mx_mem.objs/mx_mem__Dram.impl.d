@@ -1,0 +1,1 @@
+lib/mem/dram.ml: Array Params

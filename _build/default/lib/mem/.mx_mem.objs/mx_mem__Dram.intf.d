@@ -1,0 +1,1 @@
+lib/mem/dram.mli: Params

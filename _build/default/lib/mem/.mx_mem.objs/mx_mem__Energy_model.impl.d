@@ -1,0 +1,1 @@
+lib/mem/energy_model.ml: Float Params

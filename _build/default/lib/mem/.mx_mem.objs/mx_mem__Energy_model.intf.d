@@ -1,0 +1,1 @@
+lib/mem/energy_model.mli: Params

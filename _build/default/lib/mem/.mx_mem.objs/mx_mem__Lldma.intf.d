@@ -1,0 +1,1 @@
+lib/mem/lldma.mli: Params

@@ -1,0 +1,1 @@
+lib/mem/mem_arch.ml: Array Cost_model Format List Option Params Printf String

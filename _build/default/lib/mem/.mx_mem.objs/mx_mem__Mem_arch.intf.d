@@ -1,0 +1,1 @@
+lib/mem/mem_arch.mli: Format Params

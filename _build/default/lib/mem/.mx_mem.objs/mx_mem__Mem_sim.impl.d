@@ -1,0 +1,1 @@
+lib/mem/mem_sim.ml: Array Cache Dram Energy_model List Lldma Mem_arch Module_lib Mx_trace Option Params Stream_buffer Victim_cache Write_buffer

@@ -1,0 +1,1 @@
+lib/mem/mem_sim.mli: Dram Mem_arch Mx_trace

@@ -1,0 +1,1 @@
+lib/mem/module_lib.mli: Params

@@ -1,0 +1,1 @@
+lib/mem/params.mli: Format

@@ -1,0 +1,1 @@
+lib/mem/stream_buffer.ml: Array Params

@@ -1,0 +1,1 @@
+lib/mem/victim_cache.ml: Array Params

@@ -1,0 +1,1 @@
+lib/mem/write_buffer.mli: Params

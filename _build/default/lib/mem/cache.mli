@@ -1,0 +1,38 @@
+(** Set-associative write-back, write-allocate cache with true LRU.
+
+    The workhorse on-chip module of every traditional architecture in
+    the paper (designs [a]/[b] of Fig. 6 are cache-only).  The simulator
+    is state-accurate: hits, misses, fills and dirty evictions are all
+    derived from the actual tag array, so miss ratios respond correctly
+    to size, line and associativity changes. *)
+
+type t
+
+type result = {
+  hit : bool;
+  fill : bool;  (** a line was fetched from the next level *)
+  writeback : bool;  (** a dirty line was evicted to the next level *)
+  evicted_line : int option;
+      (** global line number of the displaced line, if any (feeds the
+          victim cache) *)
+}
+
+val create : Params.cache -> t
+(** @raise Invalid_argument via {!Params.validate_cache}. *)
+
+val params : t -> Params.cache
+
+val access : t -> addr:int -> write:bool -> result
+(** One CPU reference.  Aligned internally to the line size. *)
+
+val reset : t -> unit
+(** Invalidate all lines (drops dirty data — used between independent
+    experiment runs only). *)
+
+val accesses : t -> int
+val misses : t -> int
+
+val miss_ratio : t -> float
+(** 0.0 before any access. *)
+
+val writebacks : t -> int

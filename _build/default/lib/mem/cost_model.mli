@@ -1,0 +1,25 @@
+(** Gate-count cost model for memory modules.
+
+    Follows the "basic gates" accounting of the paper (Figures 3/6 and
+    Table 1 report cost in gates): an SRAM bit costs a calibrated number
+    of gate equivalents, plus per-module overheads for decoders, tag
+    comparators and control.  Calibrated so that the cache-only compress
+    architecture lands near the paper's ~0.48 M gates. *)
+
+val gates_per_bit : float
+(** Gate equivalents per on-chip SRAM bit (includes sense/decode
+    amortisation). *)
+
+val cache : Params.cache -> int
+(** Data + tag + status bits, comparators, LRU and control. *)
+
+val sram : Params.sram -> int
+val stream_buffer : Params.stream_buffer -> int
+val lldma : Params.lldma -> int
+(** Element buffer plus the pointer-dereference engine. *)
+
+val victim : Params.victim -> line:int -> int
+(** Fully-associative line buffer: data, full tags, comparators. *)
+
+val write_buffer : Params.write_buffer -> int
+(** Coalescing slots plus drain control. *)

@@ -1,0 +1,25 @@
+let log2f x = log x /. log 2.0
+
+let size_term ~size ~base_kb =
+  (* slow growth with array size, floored at zero for tiny arrays *)
+  Float.max 0.0 (log2f (float_of_int size /. (base_kb *. 1024.0)))
+
+let cache_access (c : Params.cache) ~write =
+  let e = 0.30 +. (0.08 *. size_term ~size:c.c_size ~base_kb:4.0) in
+  if write then e *. 1.2 else e
+
+let sram_access ~size = 0.15 +. (0.05 *. size_term ~size ~base_kb:1.0)
+
+let stream_buffer_access (_ : Params.stream_buffer) = 0.20
+let lldma_access (_ : Params.lldma) = 0.25
+let victim_probe = 0.10
+let write_buffer_access = 0.05
+
+let dram_activation = 70.0
+let dram_per_byte = 0.35
+
+let dram_access ~bytes = dram_activation +. (dram_per_byte *. float_of_int bytes)
+
+let dram_traffic ~txns ~bytes =
+  (float_of_int txns *. dram_activation)
+  +. (dram_per_byte *. float_of_int bytes)

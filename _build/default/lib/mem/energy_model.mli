@@ -1,0 +1,25 @@
+(** Per-access energy model in nanojoules, in the style of the
+    Catthoor et al. memory power models the paper cites.
+
+    On-chip access energy grows slowly (logarithmically) with array
+    size; off-chip DRAM accesses carry a large fixed activation cost
+    plus a per-byte transfer cost, which is why in the paper the total
+    energy per access is dominated by the memory modules (through their
+    miss traffic) rather than by the connectivity. *)
+
+val cache_access : Params.cache -> write:bool -> float
+val sram_access : size:int -> float
+val stream_buffer_access : Params.stream_buffer -> float
+val lldma_access : Params.lldma -> float
+val victim_probe : float
+(** Per-probe energy of the victim buffer's CAM. *)
+
+val write_buffer_access : float
+
+val dram_access : bytes:int -> float
+(** Activation + per-byte core energy for one off-chip burst (bus I/O
+    energy is accounted by the connectivity model). *)
+
+val dram_traffic : txns:int -> bytes:int -> float
+(** Energy of [txns] bursts moving [bytes] in total: one activation per
+    burst plus the per-byte cost. *)

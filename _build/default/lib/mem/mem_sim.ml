@@ -1,0 +1,312 @@
+type serving = By_cache | By_sram | By_sbuf | By_lldma | By_dram_direct
+
+type outcome = {
+  serving : serving;
+  hit : bool;
+  dram_bytes : int;
+  dram_txns : int;
+  dram_critical : bool;
+  l2_bytes : int;
+  l2_txns : int;
+  l2_critical : bool;
+  extra_latency : int;
+  extra_energy : float;
+}
+
+type t = {
+  arch : Mem_arch.t;
+  cache : Cache.t option;
+  l2 : Cache.t option;
+  sbuf : Stream_buffer.t option;
+  lldma : Lldma.t option;
+  victim : Victim_cache.t option;
+  wbuf : Write_buffer.t option;
+  dram : Dram.t;
+  (* counters indexed by serving (5 classes) *)
+  cpu_acc : int array;
+  cpu_cnt : int array;
+  dram_acc : int array;
+  dram_txn : int array;
+  miss_cnt : int array;
+  mutable n_access : int;
+  mutable n_hit : int;
+  mutable n_demand_miss : int;
+  mutable dram_total : int;
+  mutable n_victim_hit : int;
+  mutable n_wbuf_stall : int;
+  mutable n_l2_access : int;
+  mutable n_l2_hit : int;
+  mutable l2_bytes_acc : int;
+  mutable l2_txns_acc : int;
+}
+
+let serving_index = function
+  | By_cache -> 0
+  | By_sram -> 1
+  | By_sbuf -> 2
+  | By_lldma -> 3
+  | By_dram_direct -> 4
+
+let create (arch : Mem_arch.t) ~regions =
+  List.iter
+    (fun (r : Mx_trace.Region.t) ->
+      if r.id >= Array.length arch.Mem_arch.bindings then
+        invalid_arg "Mem_sim.create: region id outside binding table")
+    regions;
+  {
+    arch;
+    cache = Option.map Cache.create arch.Mem_arch.cache;
+    l2 = Option.map Cache.create arch.Mem_arch.l2;
+    sbuf = Option.map Stream_buffer.create arch.Mem_arch.sbuf;
+    lldma = Option.map Lldma.create arch.Mem_arch.lldma;
+    victim = Option.map Victim_cache.create arch.Mem_arch.victim;
+    wbuf = Option.map Write_buffer.create arch.Mem_arch.wbuf;
+    dram = Dram.create Module_lib.default_dram;
+    cpu_acc = Array.make 5 0;
+    cpu_cnt = Array.make 5 0;
+    dram_acc = Array.make 5 0;
+    dram_txn = Array.make 5 0;
+    miss_cnt = Array.make 5 0;
+    n_access = 0;
+    n_hit = 0;
+    n_demand_miss = 0;
+    dram_total = 0;
+    n_victim_hit = 0;
+    n_wbuf_stall = 0;
+    n_l2_access = 0;
+    n_l2_hit = 0;
+    l2_bytes_acc = 0;
+    l2_txns_acc = 0;
+  }
+
+let arch t = t.arch
+let dram t = t.dram
+
+let record t serving ~size ~(o : outcome) =
+  let i = serving_index serving in
+  t.cpu_acc.(i) <- t.cpu_acc.(i) + size;
+  t.cpu_cnt.(i) <- t.cpu_cnt.(i) + 1;
+  t.dram_acc.(i) <- t.dram_acc.(i) + o.dram_bytes;
+  t.dram_txn.(i) <- t.dram_txn.(i) + o.dram_txns;
+  t.n_access <- t.n_access + 1;
+  if o.hit then t.n_hit <- t.n_hit + 1;
+  if o.dram_critical then begin
+    t.n_demand_miss <- t.n_demand_miss + 1;
+    t.miss_cnt.(i) <- t.miss_cnt.(i) + 1
+  end;
+  t.l2_bytes_acc <- t.l2_bytes_acc + o.l2_bytes;
+  t.l2_txns_acc <- t.l2_txns_acc + o.l2_txns;
+  t.dram_total <- t.dram_total + o.dram_bytes
+
+let base serving ~hit ~dram_bytes ~dram_txns ~dram_critical =
+  { serving; hit; dram_bytes; dram_txns; dram_critical; l2_bytes = 0;
+    l2_txns = 0; l2_critical = false; extra_latency = 0; extra_energy = 0.0 }
+
+let access t ~now ~addr ~size ~write ~region =
+  let binding = Mem_arch.binding_of t.arch ~region in
+  let o =
+    match binding with
+    | Mem_arch.To_sram ->
+      base By_sram ~hit:true ~dram_bytes:0 ~dram_txns:0 ~dram_critical:false
+    | Mem_arch.To_sbuf ->
+      let sb = Option.get t.sbuf in
+      let r = Stream_buffer.access sb ~addr ~write in
+      let line = (Stream_buffer.params sb).Params.sb_line in
+      if r.Stream_buffer.hit then
+        base By_sbuf ~hit:true
+          ~dram_bytes:(r.Stream_buffer.fetched_lines * line)
+          ~dram_txns:(if r.Stream_buffer.fetched_lines > 0 then 1 else 0)
+          ~dram_critical:false
+      else
+        base By_sbuf ~hit:false
+          ~dram_bytes:(r.Stream_buffer.fetched_lines * line) ~dram_txns:1
+          ~dram_critical:true
+    | Mem_arch.To_lldma ->
+      let ll = Option.get t.lldma in
+      let r = Lldma.access ll ~now ~write in
+      let elem = (Lldma.params ll).Params.ll_elem in
+      if r.Lldma.hit then
+        base By_lldma ~hit:true ~dram_bytes:(r.Lldma.fetched_elems * elem)
+          ~dram_txns:(if r.Lldma.fetched_elems > 0 then 1 else 0)
+          ~dram_critical:false
+      else
+        base By_lldma ~hit:false ~dram_bytes:(r.Lldma.fetched_elems * elem)
+          ~dram_txns:r.Lldma.fetched_elems
+          ~dram_critical:(r.Lldma.fetched_elems > 0)
+    | Mem_arch.To_cache -> (
+      match t.cache with
+      | Some c -> (
+        let r = Cache.access c ~addr ~write in
+        let line = (Cache.params c).Params.c_line in
+        (* clean evictions feed the victim buffer *)
+        (match (t.victim, r.Cache.evicted_line) with
+        | Some v, Some el when not r.Cache.writeback ->
+          Victim_cache.insert v ~line:el
+        | _ -> ());
+        if r.Cache.hit then
+          base By_cache ~hit:true ~dram_bytes:0 ~dram_txns:0
+            ~dram_critical:false
+        else
+          match t.victim with
+          | Some v when Victim_cache.probe v ~line:(addr / line) ->
+            (* conflict miss recovered on-chip: swap back, no DRAM *)
+            t.n_victim_hit <- t.n_victim_hit + 1;
+            {
+              (base By_cache ~hit:true ~dram_bytes:0 ~dram_txns:0
+                 ~dram_critical:false)
+              with
+              extra_latency = (Victim_cache.params v).Params.v_latency;
+              extra_energy = Energy_model.victim_probe;
+            }
+          | victim_opt -> (
+            let probe_energy =
+              if victim_opt <> None then Energy_model.victim_probe else 0.0
+            in
+            let wb = if r.Cache.writeback then line else 0 in
+            match t.l2 with
+            | None ->
+              {
+                (base By_cache ~hit:false ~dram_bytes:(line + wb)
+                   ~dram_txns:(if r.Cache.writeback then 2 else 1)
+                   ~dram_critical:true)
+                with
+                extra_energy = probe_energy;
+              }
+            | Some l2 ->
+              let l2_line = (Cache.params l2).Params.c_line in
+              t.n_l2_access <- t.n_l2_access + 1;
+              (* the dirty L1 line drains into the L2 *)
+              let wb_dram_bytes = ref 0 and wb_dram_txns = ref 0 in
+              (match (r.Cache.writeback, r.Cache.evicted_line) with
+              | true, Some el ->
+                let wr = Cache.access l2 ~addr:(el * line) ~write:true in
+                if not wr.Cache.hit then begin
+                  wb_dram_bytes := l2_line;
+                  incr wb_dram_txns;
+                  if wr.Cache.writeback then begin
+                    wb_dram_bytes := !wb_dram_bytes + l2_line;
+                    incr wb_dram_txns
+                  end
+                end
+              | _ -> ());
+              (* demand fill through the L2 *)
+              let dr = Cache.access l2 ~addr ~write:false in
+              let l2_energy =
+                Energy_model.cache_access (Cache.params l2) ~write:false
+              in
+              if dr.Cache.hit then begin
+                t.n_l2_hit <- t.n_l2_hit + 1;
+                {
+                  (base By_cache ~hit:true ~dram_bytes:!wb_dram_bytes
+                     ~dram_txns:!wb_dram_txns ~dram_critical:false)
+                  with
+                  l2_bytes = line + wb;
+                  l2_txns = (if wb > 0 then 2 else 1);
+                  l2_critical = true;
+                  extra_energy = probe_energy +. l2_energy;
+                }
+              end
+              else begin
+                let dram = ref (l2_line + !wb_dram_bytes)
+                and txns = ref (1 + !wb_dram_txns) in
+                if dr.Cache.writeback then begin
+                  dram := !dram + l2_line;
+                  incr txns
+                end;
+                {
+                  (base By_cache ~hit:false ~dram_bytes:!dram ~dram_txns:!txns
+                     ~dram_critical:true)
+                  with
+                  l2_bytes = line + wb;
+                  l2_txns = (if wb > 0 then 2 else 1);
+                  l2_critical = true;
+                  extra_energy = probe_energy +. l2_energy;
+                }
+              end))
+      | None -> (
+        (* no cache: direct off-chip access, optionally through the
+           posted-write buffer *)
+        match t.wbuf with
+        | Some wb ->
+          let line16 = addr / 16 in
+          if write then (
+            match Write_buffer.write wb ~now ~line:line16 with
+            | `Absorbed | `Coalesced ->
+              {
+                (base By_dram_direct ~hit:false ~dram_bytes:size ~dram_txns:1
+                   ~dram_critical:false)
+                with
+                extra_energy = Energy_model.write_buffer_access;
+              }
+            | `Stall ->
+              t.n_wbuf_stall <- t.n_wbuf_stall + 1;
+              base By_dram_direct ~hit:false ~dram_bytes:size ~dram_txns:1
+                ~dram_critical:true)
+          else if Write_buffer.read_forward wb ~now ~line:line16 then
+            {
+              (base By_dram_direct ~hit:true ~dram_bytes:0 ~dram_txns:0
+                 ~dram_critical:false)
+              with
+              extra_energy = Energy_model.write_buffer_access;
+            }
+          else
+            base By_dram_direct ~hit:false ~dram_bytes:size ~dram_txns:1
+              ~dram_critical:true
+        | None ->
+          base By_dram_direct ~hit:false ~dram_bytes:size ~dram_txns:1
+            ~dram_critical:true))
+  in
+  record t o.serving ~size ~o;
+  o
+
+type stats = {
+  accesses : int;
+  on_chip_hits : int;
+  demand_misses : int;
+  dram_bytes_total : int;
+  cpu_bytes : serving -> int;
+  cpu_accesses : serving -> int;
+  dram_bytes_by : serving -> int;
+  dram_txns_by : serving -> int;
+  demand_misses_by : serving -> int;
+  victim_hits : int;
+  wbuf_stalls : int;
+  l2_accesses : int;
+  l2_hits : int;
+  l2_bytes_total : int;
+  l2_txns_total : int;
+}
+
+let snapshot t =
+  let cpu = Array.copy t.cpu_acc and dr = Array.copy t.dram_acc in
+  let cnt = Array.copy t.cpu_cnt and txn = Array.copy t.dram_txn in
+  let mis = Array.copy t.miss_cnt in
+  {
+    accesses = t.n_access;
+    on_chip_hits = t.n_hit;
+    demand_misses = t.n_demand_miss;
+    dram_bytes_total = t.dram_total;
+    cpu_bytes = (fun s -> cpu.(serving_index s));
+    cpu_accesses = (fun s -> cnt.(serving_index s));
+    dram_bytes_by = (fun s -> dr.(serving_index s));
+    dram_txns_by = (fun s -> txn.(serving_index s));
+    demand_misses_by = (fun s -> mis.(serving_index s));
+    victim_hits = t.n_victim_hit;
+    wbuf_stalls = t.n_wbuf_stall;
+    l2_accesses = t.n_l2_access;
+    l2_hits = t.n_l2_hit;
+    l2_bytes_total = t.l2_bytes_acc;
+    l2_txns_total = t.l2_txns_acc;
+  }
+
+let run t trace =
+  let i = ref 0 in
+  Mx_trace.Trace.iter_packed trace ~f:(fun ~addr ~size ~kind ~region ->
+      let write = kind = Mx_trace.Access.Write in
+      ignore (access t ~now:!i ~addr ~size ~write ~region);
+      incr i);
+  snapshot t
+
+let miss_ratio s =
+  if s.accesses = 0 then 0.0
+  else float_of_int s.demand_misses /. float_of_int s.accesses

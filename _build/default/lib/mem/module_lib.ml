@@ -1,0 +1,47 @@
+let caches =
+  let mk size line assoc latency =
+    { Params.c_size = size; c_line = line; c_assoc = assoc; c_latency = latency }
+  in
+  [
+    mk (2 * 1024) 16 1 1;
+    mk (4 * 1024) 16 1 1;
+    mk (4 * 1024) 32 2 1;
+    mk (8 * 1024) 32 1 1;
+    mk (8 * 1024) 32 2 1;
+    mk (16 * 1024) 32 2 1;
+    mk (16 * 1024) 32 4 2;
+    mk (32 * 1024) 32 2 2;
+    mk (32 * 1024) 64 4 2;
+    mk (64 * 1024) 64 4 2;
+  ]
+
+let stream_buffers =
+  let mk streams line depth latency =
+    { Params.sb_streams = streams; sb_line = line; sb_depth = depth;
+      sb_latency = latency }
+  in
+  [ mk 2 32 2 1; mk 4 32 4 1; mk 4 64 4 1 ]
+
+let lldmas =
+  let mk entries elem gap latency =
+    { Params.ll_entries = entries; ll_elem = elem; ll_max_gap = gap;
+      ll_latency = latency }
+  in
+  [ mk 16 8 6 1; mk 64 8 6 1 ]
+
+let l2_caches =
+  [ { Params.c_size = 64 * 1024; c_line = 64; c_assoc = 4; c_latency = 4 } ]
+
+let victims = [ { Params.v_entries = 8; v_latency = 1 } ]
+
+let write_buffers = [ { Params.wb_entries = 4; wb_drain = 4 } ]
+
+let default_dram =
+  { Params.d_banks = 4; d_row = 2048; d_cas = 10; d_rcd = 8; d_rp = 8 }
+
+let sram_latency = 1
+
+let sram_for_bytes bytes =
+  if bytes <= 0 then invalid_arg "Module_lib.sram_for_bytes: non-positive size";
+  let rounded = (bytes + 63) / 64 * 64 in
+  { Params.s_size = rounded; s_latency = sram_latency }

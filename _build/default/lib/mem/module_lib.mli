@@ -1,0 +1,27 @@
+(** The memory IP library: the standard catalogue of module instances
+    that APEX mixes and matches during exploration. *)
+
+val caches : Params.cache list
+(** Direct-mapped through 4-way caches from 2 KB to 64 KB. *)
+
+val stream_buffers : Params.stream_buffer list
+val lldmas : Params.lldma list
+
+val l2_caches : Params.cache list
+(** Unified second-level cache options (larger line, slower access). *)
+
+val victims : Params.victim list
+(** Victim-buffer options explored behind caches. *)
+
+val write_buffers : Params.write_buffer list
+(** Posted-write-buffer options for direct off-chip stores. *)
+
+val default_dram : Params.dram
+(** SDRAM-class off-chip part used by all experiments. *)
+
+val sram_latency : int
+(** Scratchpad access latency (cycles). *)
+
+val sram_for_bytes : int -> Params.sram
+(** Scratchpad instance sized (rounded up to 64 B) for a footprint.
+    @raise Invalid_argument for a non-positive footprint. *)

@@ -1,0 +1,67 @@
+(** Parameter records for every module in the memory IP library.
+
+    These are the "IP datasheet" values APEX mixes and matches.  All
+    latencies are in CPU cycles; sizes in bytes.  The library instances
+    in {!Module_lib} provide the standard catalogue explored by the
+    paper-scale experiments. *)
+
+type cache = {
+  c_size : int;  (** total data capacity in bytes; power of two *)
+  c_line : int;  (** line size in bytes; power of two *)
+  c_assoc : int;  (** associativity; [c_size / c_line] must be divisible *)
+  c_latency : int;  (** hit latency, cycles *)
+}
+
+type sram = {
+  s_size : int;  (** scratchpad capacity in bytes *)
+  s_latency : int;  (** access latency, cycles *)
+}
+
+type stream_buffer = {
+  sb_streams : int;  (** number of concurrent stream slots *)
+  sb_line : int;  (** fetch granularity in bytes *)
+  sb_depth : int;  (** prefetch depth in lines per stream *)
+  sb_latency : int;  (** hit latency, cycles *)
+}
+
+type lldma = {
+  ll_entries : int;  (** element buffer capacity *)
+  ll_elem : int;  (** element size the DMA is programmed for, bytes *)
+  ll_max_gap : int;
+      (** how many intervening CPU accesses the DMA can tolerate while
+          staying ahead of a pointer chase; beyond this the chase is
+          considered restarted (miss) *)
+  ll_latency : int;  (** hit latency, cycles *)
+}
+
+type victim = {
+  v_entries : int;  (** fully-associative victim-cache lines *)
+  v_latency : int;  (** extra cycles on a victim hit *)
+}
+
+type write_buffer = {
+  wb_entries : int;  (** coalescing line-granular slots *)
+  wb_drain : int;
+      (** one slot drains to DRAM every [wb_drain] CPU accesses *)
+}
+
+type dram = {
+  d_banks : int;
+  d_row : int;  (** row-buffer size in bytes *)
+  d_cas : int;  (** column access, cycles (row hit) *)
+  d_rcd : int;  (** RAS-to-CAS, cycles *)
+  d_rp : int;  (** precharge, cycles *)
+}
+
+val validate_cache : cache -> unit
+(** @raise Invalid_argument on a malformed geometry. *)
+
+val validate_dram : dram -> unit
+val validate_victim : victim -> unit
+val validate_write_buffer : write_buffer -> unit
+val pp_cache : Format.formatter -> cache -> unit
+val pp_sram : Format.formatter -> sram -> unit
+val pp_stream_buffer : Format.formatter -> stream_buffer -> unit
+val pp_lldma : Format.formatter -> lldma -> unit
+val pp_victim : Format.formatter -> victim -> unit
+val pp_write_buffer : Format.formatter -> write_buffer -> unit

@@ -1,0 +1,26 @@
+(** Victim cache (Jouppi): a small fully-associative buffer holding
+    lines recently evicted from the main cache, recovering conflict
+    misses without an off-chip round trip.
+
+    Policy implemented here: clean evictions enter the buffer (dirty
+    lines are written back immediately, as in the base design); on a
+    main-cache miss the buffer is probed, and a hit returns the line to
+    the cache at [v_latency] extra cycles with no DRAM traffic. *)
+
+type t
+
+val create : Params.victim -> t
+(** @raise Invalid_argument via {!Params.validate_victim}. *)
+
+val params : t -> Params.victim
+
+val probe : t -> line:int -> bool
+(** [probe t ~line] — is the (line-granular) address resident?  A hit
+    removes the line (it moves back into the main cache). *)
+
+val insert : t -> line:int -> unit
+(** Add an evicted line, displacing the LRU entry when full. *)
+
+val hits : t -> int
+val probes : t -> int
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/sim/cycle_sim.ml: Array List Mx_connect Mx_mem Mx_trace Printf Sim_result

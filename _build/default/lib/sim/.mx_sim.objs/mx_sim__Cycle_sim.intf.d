@@ -1,0 +1,1 @@
+lib/sim/cycle_sim.mli: Mx_connect Mx_mem Mx_trace Sim_result

@@ -1,0 +1,1 @@
+lib/sim/estimator.ml: Array Float List Mx_connect Mx_mem Mx_trace Printf Sim_result

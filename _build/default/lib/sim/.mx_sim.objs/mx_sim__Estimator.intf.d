@@ -1,0 +1,1 @@
+lib/sim/estimator.mli: Mx_connect Mx_mem Mx_trace Sim_result

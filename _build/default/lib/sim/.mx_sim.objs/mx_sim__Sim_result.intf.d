@@ -1,0 +1,1 @@
+lib/sim/sim_result.mli: Format

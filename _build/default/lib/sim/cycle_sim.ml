@@ -1,0 +1,369 @@
+module Mem_sim = Mx_mem.Mem_sim
+module Mem_arch = Mx_mem.Mem_arch
+module Params = Mx_mem.Params
+module Channel = Mx_connect.Channel
+module Component = Mx_connect.Component
+module Conn_arch = Mx_connect.Conn_arch
+module Conn_cost = Mx_connect.Conn_cost
+
+let default_sample = (1000, 9000)
+
+type cpu_model = Blocking | Overlap of int
+
+(* A routed leg: which component instance carries a channel and whether
+   it is shared (contended). *)
+type leg = { comp : Component.t; idx : int; contended : bool }
+
+let route bindings (src : Channel.node) (dst : Channel.node) =
+  let probe = { Channel.src; dst; bandwidth = 0.0; txn_bytes = 0.0 } in
+  let rec go i = function
+    | [] -> None
+    | (b : Conn_arch.binding) :: rest ->
+      if
+        List.exists (Channel.same_endpoints probe)
+          b.Conn_arch.cluster.Mx_connect.Cluster.channels
+      then
+        Some
+          {
+            comp = b.Conn_arch.component;
+            idx = i;
+            contended =
+              List.length b.Conn_arch.cluster.Mx_connect.Cluster.channels > 1;
+          }
+      else go (i + 1) rest
+  in
+  go 0 bindings
+
+let node_of = function
+  | Mem_sim.By_cache -> Channel.Cache
+  | Mem_sim.By_sram -> Channel.Sram
+  | Mem_sim.By_sbuf -> Channel.Sbuf
+  | Mem_sim.By_lldma -> Channel.Lldma
+  | Mem_sim.By_dram_direct -> Channel.Dram
+
+let serving_idx = function
+  | Mem_sim.By_cache -> 0
+  | Mem_sim.By_sram -> 1
+  | Mem_sim.By_sbuf -> 2
+  | Mem_sim.By_lldma -> 3
+  | Mem_sim.By_dram_direct -> 4
+
+let module_latency (arch : Mem_arch.t) = function
+  | Mem_sim.By_cache -> (
+    match arch.Mem_arch.cache with
+    | Some c -> c.Params.c_latency
+    | None -> 0)
+  | Mem_sim.By_sram -> (
+    match arch.Mem_arch.sram with Some s -> s.Params.s_latency | None -> 1)
+  | Mem_sim.By_sbuf -> (
+    match arch.Mem_arch.sbuf with Some s -> s.Params.sb_latency | None -> 1)
+  | Mem_sim.By_lldma -> (
+    match arch.Mem_arch.lldma with Some l -> l.Params.ll_latency | None -> 1)
+  | Mem_sim.By_dram_direct -> 0
+
+let module_energy (arch : Mem_arch.t) serving ~write =
+  match serving with
+  | Mem_sim.By_cache -> (
+    match arch.Mem_arch.cache with
+    | Some c -> Mx_mem.Energy_model.cache_access c ~write
+    | None -> 0.0)
+  | Mem_sim.By_sram -> (
+    match arch.Mem_arch.sram with
+    | Some s -> Mx_mem.Energy_model.sram_access ~size:s.Params.s_size
+    | None -> 0.0)
+  | Mem_sim.By_sbuf -> (
+    match arch.Mem_arch.sbuf with
+    | Some s -> Mx_mem.Energy_model.stream_buffer_access s
+    | None -> 0.0)
+  | Mem_sim.By_lldma -> (
+    match arch.Mem_arch.lldma with
+    | Some l -> Mx_mem.Energy_model.lldma_access l
+    | None -> 0.0)
+  | Mem_sim.By_dram_direct -> 0.0
+
+(* The demand (CPU-blocking) share of an access's off-chip traffic:
+   fills are critical-word-first, so the CPU resumes after the first
+   8 bytes arrive and the rest of the line streams in behind. *)
+let cwf_bytes = 8
+
+let critical_bytes (arch : Mem_arch.t) serving (o : Mem_sim.outcome) ~size =
+  if not o.Mem_sim.dram_critical then 0
+  else
+    match serving with
+    | Mem_sim.By_cache -> (
+      match arch.Mem_arch.cache with
+      | Some c -> min c.Params.c_line cwf_bytes
+      | None -> size)
+    | Mem_sim.By_sbuf -> (
+      match arch.Mem_arch.sbuf with
+      | Some s -> min s.Params.sb_line cwf_bytes
+      | None -> size)
+    | Mem_sim.By_lldma -> min o.Mem_sim.dram_bytes cwf_bytes
+    | Mem_sim.By_dram_direct -> size
+    | Mem_sim.By_sram -> 0
+
+type bus_stat = {
+  component : string;
+  carries : string;
+  txns : int;
+  busy_cycles : int;
+  wait_cycles : int;
+  utilization : float;
+}
+
+let run_traced ?sample ?(cpu = Blocking) ~workload ~arch ~conn () =
+  (match sample with
+  | Some (on, off) when on <= 0 || off < 0 ->
+    invalid_arg "Cycle_sim.run: bad sampling windows"
+  | _ -> ());
+  let mshrs =
+    match cpu with
+    | Blocking -> [||]
+    | Overlap n ->
+      if n <= 0 then invalid_arg "Cycle_sim.run: Overlap needs at least 1 MSHR";
+      Array.make n 0
+  in
+  let bindings = (conn : Conn_arch.t).Conn_arch.bindings in
+  let nbind = List.length bindings in
+  let busy = Array.make (max 1 nbind) 0 in
+  (* per-binding utilisation accounting *)
+  let busy_acc = Array.make (max 1 nbind) 0 in
+  let wait_acc = Array.make (max 1 nbind) 0 in
+  let txn_acc = Array.make (max 1 nbind) 0 in
+  let note ~idx ~occ ~wait =
+    busy_acc.(idx) <- busy_acc.(idx) + occ;
+    wait_acc.(idx) <- wait_acc.(idx) + wait;
+    txn_acc.(idx) <- txn_acc.(idx) + 1
+  in
+  (* routing tables per serving class; with an L2 the cache's off-chip
+     traffic flows Cache -> L2 -> DRAM *)
+  let has_l2 = arch.Mem_arch.l2 <> None in
+  let cpu_leg = Array.make 5 None and dram_leg = Array.make 5 None in
+  let l2_leg = if has_l2 then route bindings Channel.Cache Channel.L2 else None in
+  List.iter
+    (fun sv ->
+      let node = node_of sv in
+      let i = serving_idx sv in
+      cpu_leg.(i) <- route bindings Channel.Cpu node;
+      if node <> Channel.Dram then
+        let dram_src =
+          if sv = Mem_sim.By_cache && has_l2 then Channel.L2 else node
+        in
+        dram_leg.(i) <- route bindings dram_src Channel.Dram)
+    [ Mem_sim.By_cache; Mem_sim.By_sram; Mem_sim.By_sbuf; Mem_sim.By_lldma;
+      Mem_sim.By_dram_direct ];
+  let msim =
+    Mem_sim.create arch ~regions:workload.Mx_trace.Workload.regions
+  in
+  let trace = workload.Mx_trace.Workload.trace in
+  let n = Mx_trace.Trace.length trace in
+  let ops_rate =
+    if n = 0 then 0.0
+    else float_of_int workload.Mx_trace.Workload.cpu_ops /. float_of_int n
+  in
+  (* accumulators *)
+  let now = ref 0 in
+  let ops_acc = ref 0.0 in
+  let sampled_accesses = ref 0 in
+  let total_lat = ref 0 in
+  let total_wait = ref 0 in
+  let energy = ref 0.0 in
+  let require leg sv =
+    match leg with
+    | Some l -> l
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Cycle_sim.run: connectivity does not implement the %s channel"
+           (Channel.node_to_string (node_of sv)))
+  in
+  let in_on_window i =
+    match sample with
+    | None -> true
+    | Some (on, off) -> i mod (on + off) < on
+  in
+  let i = ref 0 in
+  Mx_trace.Trace.iter_packed trace ~f:(fun ~addr ~size ~kind ~region ->
+      let write = kind = Mx_trace.Access.Write in
+      (* interleaved compute cycles *)
+      ops_acc := !ops_acc +. ops_rate;
+      let gap = int_of_float !ops_acc in
+      ops_acc := !ops_acc -. float_of_int gap;
+      let o = Mem_sim.access msim ~now:!i ~addr ~size ~write ~region in
+      let sv = o.Mem_sim.serving in
+      let k = serving_idx sv in
+      if in_on_window !i then begin
+        now := !now + gap;
+        let l1 = require cpu_leg.(k) sv in
+        let start1 = max !now busy.(l1.idx) in
+        let wait1 = start1 - !now in
+        let lat1 =
+          Component.txn_latency l1.comp ~bytes:size ~contended:l1.contended
+        in
+        let occ1 = Component.occupancy l1.comp ~bytes:size in
+        note ~idx:l1.idx ~occ:occ1 ~wait:wait1;
+        let mem_lat = module_latency arch sv in
+        let crit = critical_bytes arch sv o ~size in
+        let bg = o.Mem_sim.dram_bytes - crit in
+        (* off-chip leg: By_dram_direct rides its CPU channel, others go
+           through their module's DRAM channel *)
+        let miss_path = ref 0 in
+        (* the L1<->L2 leg comes first on an L1 miss when an L2 exists *)
+        if o.Mem_sim.l2_bytes > 0 then begin
+          let lm =
+            match l2_leg with
+            | Some l -> l
+            | None ->
+              invalid_arg
+                "Cycle_sim.run: connectivity does not implement the \
+                 cache<->L2 channel"
+          in
+          let crit_m = min 8 o.Mem_sim.l2_bytes in
+          let t_req = !now + wait1 + lat1 in
+          let start_m = max t_req busy.(lm.idx) in
+          let wait_m = start_m - t_req in
+          let lat_m =
+            Component.txn_latency lm.comp ~bytes:crit_m ~contended:lm.contended
+          in
+          let occ_m = Component.occupancy lm.comp ~bytes:crit_m in
+          busy.(lm.idx) <- start_m + occ_m;
+          note ~idx:lm.idx ~occ:occ_m ~wait:wait_m;
+          let bg_m = o.Mem_sim.l2_bytes - crit_m in
+          if bg_m > 0 then begin
+            let occ_bg = Component.occupancy lm.comp ~bytes:bg_m in
+            busy.(lm.idx) <- max busy.(lm.idx) !now + occ_bg;
+            note ~idx:lm.idx ~occ:occ_bg ~wait:0
+          end;
+          let l2_lat =
+            match arch.Mem_arch.l2 with
+            | Some c -> c.Params.c_latency
+            | None -> 0
+          in
+          miss_path := wait_m + lat_m + l2_lat;
+          total_wait := !total_wait + wait_m;
+          energy :=
+            !energy
+            +. (float_of_int o.Mem_sim.l2_bytes
+               *. Conn_cost.energy_per_byte lm.comp)
+        end;
+        if o.Mem_sim.dram_bytes > 0 then begin
+          let l2 =
+            if sv = Mem_sim.By_dram_direct then l1
+            else require dram_leg.(k) sv
+          in
+          if crit > 0 then begin
+            let dram_lat = Mx_mem.Dram.access (Mem_sim.dram msim) ~addr in
+            if sv = Mem_sim.By_dram_direct then
+              (* the CPU-side transaction itself reaches DRAM; add the
+                 core access time only *)
+              miss_path := dram_lat
+            else begin
+              let t_req = !now + wait1 + lat1 + !miss_path in
+              let start2 = max t_req busy.(l2.idx) in
+              let wait2 = start2 - t_req in
+              let lat2 =
+                Component.txn_latency l2.comp ~bytes:crit
+                  ~contended:l2.contended
+              in
+              let occ2 = Component.occupancy l2.comp ~bytes:crit in
+              busy.(l2.idx) <-
+                start2 + occ2
+                + (if l2.comp.Component.split_txn then 0 else dram_lat);
+              note ~idx:l2.idx ~occ:occ2 ~wait:wait2;
+              miss_path := !miss_path + wait2 + lat2 + dram_lat;
+              total_wait := !total_wait + wait2
+            end
+          end;
+          if bg > 0 then begin
+            (* prefetch/writeback traffic occupies the off-chip leg and
+               touches DRAM rows without stalling the CPU *)
+            ignore (Mx_mem.Dram.access (Mem_sim.dram msim) ~addr);
+            let occ_bg = Component.occupancy l2.comp ~bytes:bg in
+            busy.(l2.idx) <- max busy.(l2.idx) !now + occ_bg;
+            note ~idx:l2.idx ~occ:occ_bg ~wait:0
+          end;
+          (* off-chip energy: DRAM core (per burst) + pad/bus switching *)
+          energy :=
+            !energy
+            +. Mx_mem.Energy_model.dram_traffic ~txns:o.Mem_sim.dram_txns
+                 ~bytes:o.Mem_sim.dram_bytes
+            +. (float_of_int o.Mem_sim.dram_bytes
+               *. Conn_cost.energy_per_byte l2.comp)
+        end;
+        (* hold a non-split CPU-side component for the whole miss *)
+        busy.(l1.idx) <-
+          start1 + occ1
+          + (if l1.comp.Component.split_txn then 0 else !miss_path);
+        let latency =
+          match cpu with
+          | Blocking ->
+            wait1 + lat1 + mem_lat + o.Mem_sim.extra_latency + !miss_path
+          | Overlap _ ->
+            let on_chip = wait1 + lat1 + mem_lat + o.Mem_sim.extra_latency in
+            if !miss_path = 0 then on_chip
+            else begin
+              (* park the miss in an MSHR; stall only when all are busy *)
+              let slot = ref 0 in
+              Array.iteri
+                (fun i t -> if t < mshrs.(!slot) then slot := i)
+                mshrs;
+              let stall = max 0 (mshrs.(!slot) - !now) in
+              mshrs.(!slot) <- !now + stall + on_chip + !miss_path;
+              on_chip + stall
+            end
+        in
+        now := !now + latency;
+        total_lat := !total_lat + latency;
+        total_wait := !total_wait + wait1;
+        incr sampled_accesses;
+        energy :=
+          !energy
+          +. module_energy arch sv ~write
+          +. o.Mem_sim.extra_energy
+          +. (float_of_int size *. Conn_cost.energy_per_byte l1.comp)
+      end
+      else begin
+        (* off window: keep module/DRAM state warm, no timing *)
+        if o.Mem_sim.dram_bytes > 0 then
+          ignore (Mx_mem.Dram.access (Mem_sim.dram msim) ~addr)
+      end;
+      incr i);
+  let sampled = max 1 !sampled_accesses in
+  let avg_lat = float_of_int !total_lat /. float_of_int sampled in
+  let scale = float_of_int n /. float_of_int sampled in
+  (* routing statistics are exact even when sampling: the module state
+     saw every access *)
+  let mstats = Mem_sim.snapshot msim in
+  let miss_ratio = Mem_sim.miss_ratio mstats in
+  let dram_bytes = mstats.Mem_sim.dram_bytes_total in
+  let result =
+    {
+      Sim_result.accesses = n;
+      cycles = int_of_float (float_of_int !now *. scale);
+      total_mem_latency = !total_lat;
+      avg_mem_latency = avg_lat;
+      avg_energy_nj = !energy /. float_of_int sampled;
+      miss_ratio;
+      bus_wait_cycles = !total_wait;
+      dram_bytes;
+      exact = sample = None;
+    }
+  in
+  let total_cycles = max 1 !now in
+  let stats =
+    List.mapi
+      (fun idx (b : Conn_arch.binding) ->
+        {
+          component = b.Conn_arch.component.Component.name;
+          carries = Mx_connect.Cluster.describe b.Conn_arch.cluster;
+          txns = txn_acc.(idx);
+          busy_cycles = busy_acc.(idx);
+          wait_cycles = wait_acc.(idx);
+          utilization = float_of_int busy_acc.(idx) /. float_of_int total_cycles;
+        })
+      bindings
+  in
+  (result, stats)
+
+let run ?sample ?cpu ~workload ~arch ~conn () =
+  fst (run_traced ?sample ?cpu ~workload ~arch ~conn ())

@@ -1,0 +1,31 @@
+(** Fast analytic cost/performance/power estimation for Phase I of
+    ConEx.
+
+    Uses the one-time module-level profile of a memory architecture
+    (miss ratios, per-channel transaction counts and sizes — all
+    connectivity-independent) plus reservation-table-derived service
+    times for each connectivity component, and closes the loop with a
+    small fixed-point iteration on total execution time:
+
+    - component utilisation  rho_j = busy_j / T,
+    - queueing wait          W_j ~ S_j/2 * rho_j / (1 - rho_j),
+    - average latency        L = sum over serving classes of
+                                 (wait + transaction + module latency +
+                                  miss-rate * off-chip path),
+    - total time             T = accesses * (1 + ops/access) + accesses*L.
+
+    No trace replay: thousands of connectivity candidates per memory
+    architecture are estimated from one profile, which is what lets the
+    Pruned search skip full simulation of the design space.  Absolute
+    accuracy is deliberately traded for speed; its {e fidelity}
+    (relative ordering) is validated against the cycle simulator in the
+    test suite. *)
+
+val estimate :
+  workload:Mx_trace.Workload.t ->
+  arch:Mx_mem.Mem_arch.t ->
+  profile:Mx_mem.Mem_sim.stats ->
+  conn:Mx_connect.Conn_arch.t ->
+  Sim_result.t
+(** @raise Invalid_argument when the profile saw no accesses or the
+    connectivity misses a needed channel. *)

@@ -1,0 +1,19 @@
+type t = {
+  accesses : int;
+  cycles : int;
+  total_mem_latency : int;
+  avg_mem_latency : float;
+  avg_energy_nj : float;
+  miss_ratio : float;
+  bus_wait_cycles : int;
+  dram_bytes : int;
+  exact : bool;
+}
+
+let pp fmt r =
+  Format.fprintf fmt
+    "%s: %d accesses, %d cycles, avg mem latency %.2f cy, avg energy %.2f \
+     nJ, miss %.3f, bus wait %d cy"
+    (if r.exact then "sim" else "est")
+    r.accesses r.cycles r.avg_mem_latency r.avg_energy_nj r.miss_ratio
+    r.bus_wait_cycles

@@ -1,0 +1,24 @@
+(** Result record shared by the cycle simulator, the time-sampling
+    estimator and the analytic estimator.
+
+    [avg_mem_latency] is the paper's performance metric (Table 1 /
+    Figs. 4 and 6): average cycles the CPU stalls per memory access,
+    including both memory-module latency and connectivity latency
+    (arbitration waits, serialization beats, bus conflicts).
+    [avg_energy_nj] is the paper's energy metric: average nanojoules
+    per access across memory modules and connectivity. *)
+
+type t = {
+  accesses : int;  (** accesses the timing was measured over *)
+  cycles : int;  (** total execution cycles (compute + memory) *)
+  total_mem_latency : int;
+  avg_mem_latency : float;
+  avg_energy_nj : float;
+  miss_ratio : float;  (** demand misses / accesses *)
+  bus_wait_cycles : int;
+      (** cycles lost to connectivity contention (arbitration queues) *)
+  dram_bytes : int;
+  exact : bool;  (** true for full simulation, false for estimates *)
+}
+
+val pp : Format.formatter -> t -> unit

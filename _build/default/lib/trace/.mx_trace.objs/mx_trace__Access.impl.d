@@ -1,0 +1,1 @@
+lib/trace/access.ml: Format Printf

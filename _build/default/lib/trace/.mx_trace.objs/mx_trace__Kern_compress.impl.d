@@ -1,0 +1,1 @@
+lib/trace/kern_compress.ml: Array Bytes Char Layout List Mx_util Region Workload

@@ -1,0 +1,1 @@
+lib/trace/kern_fft.ml: Array Float Layout Mx_util Region Workload

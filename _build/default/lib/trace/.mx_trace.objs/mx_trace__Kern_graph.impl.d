@@ -1,0 +1,1 @@
+lib/trace/kern_graph.ml: Array Layout Mx_util Region Workload

@@ -1,0 +1,1 @@
+lib/trace/kern_li.ml: Array Bytes Layout List Mx_util Region Workload

@@ -1,0 +1,1 @@
+lib/trace/kern_vocoder.ml: Array Layout Mx_util Region Workload

@@ -1,0 +1,1 @@
+lib/trace/kern_vocoder.mli: Workload

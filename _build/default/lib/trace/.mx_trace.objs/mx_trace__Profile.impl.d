@@ -1,0 +1,1 @@
+lib/trace/profile.ml: Access Array Format Hashtbl List Region Trace Workload

@@ -1,0 +1,1 @@
+lib/trace/profile.mli: Format Region Workload

@@ -1,0 +1,1 @@
+lib/trace/region.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/trace/synthetic.ml: Array Layout List Mx_util Region Workload

@@ -1,0 +1,1 @@
+lib/trace/synthetic.mli: Region Workload

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Access Array

@@ -1,0 +1,1 @@
+lib/trace/trace_io.ml: Access Buffer Fun List Printf Region String Trace Workload

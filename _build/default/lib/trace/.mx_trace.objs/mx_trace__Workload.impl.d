@@ -1,0 +1,1 @@
+lib/trace/workload.ml: Access List Printf Region Trace

@@ -1,0 +1,1 @@
+lib/trace/workload.mli: Region Trace

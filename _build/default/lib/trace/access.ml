@@ -1,0 +1,23 @@
+type kind = Read | Write
+
+type t = { addr : int; size : int; kind : kind; region : int }
+
+let kind_to_string = function Read -> "R" | Write -> "W"
+
+let pp fmt a =
+  Format.fprintf fmt "%s %#x (%dB, r%d)" (kind_to_string a.kind) a.addr a.size
+    a.region
+
+let size_code = function
+  | 1 -> 0
+  | 2 -> 1
+  | 4 -> 2
+  | 8 -> 3
+  | n -> invalid_arg (Printf.sprintf "Access.size_code: bad width %d" n)
+
+let size_of_code = function
+  | 0 -> 1
+  | 1 -> 2
+  | 2 -> 4
+  | 3 -> 8
+  | c -> invalid_arg (Printf.sprintf "Access.size_of_code: bad code %d" c)

@@ -1,0 +1,26 @@
+(** A single memory reference as seen by the CPU.
+
+    MemorEx is trace-driven: workload kernels ({!Kern_compress},
+    {!Kern_li}, {!Kern_vocoder}, {!Synthetic}) emit a stream of accesses,
+    and every downstream stage — profiling, APEX, ConEx, the cycle
+    simulator — consumes that stream.  This mirrors the paper's setup
+    where SHADE produced the reference stream for SIMPRESS. *)
+
+type kind = Read | Write
+
+type t = {
+  addr : int;  (** byte address *)
+  size : int;  (** access width in bytes: 1, 2, 4 or 8 *)
+  kind : kind;
+  region : int;  (** id of the data-structure region being referenced *)
+}
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit
+
+val size_code : int -> int
+(** Encode an access width (1/2/4/8 bytes) into a 2-bit code.
+    @raise Invalid_argument for any other width. *)
+
+val size_of_code : int -> int
+(** Inverse of {!size_code} for codes 0..3. *)

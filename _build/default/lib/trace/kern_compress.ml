@@ -1,0 +1,207 @@
+(* LZW compress/decompress in the style of compress.c (SPEC95 129.compress):
+   open-addressed hash table with secondary probing on the encode side,
+   prefix-chain unwinding with an explicit stack on the decode side.  All
+   data-structure references are emitted to the trace. *)
+
+module Prng = Mx_util.Prng
+
+let name = "compress"
+
+let hsize = 69001 (* 95% occupancy table size used by compress.c *)
+let code_limit = 65536
+let first_free = 257 (* 0..255 literals, 256 = clear code *)
+let alphabet = 32
+let input_chunk = 8192
+
+type state = {
+  e : Workload.Emitter.e;
+  rng : Prng.t;
+  (* regions *)
+  input : Region.t;
+  codes : Region.t;
+  decout : Region.t;
+  htab : Region.t;
+  codetab : Region.t;
+  chains : Region.t;
+  stack : Region.t;
+  (* encoder tables (semantic values; the trace carries the addresses) *)
+  h_fcode : int array;
+  h_code : int array;
+  (* decoder tables *)
+  prefix : int array;
+  suffix : int array;
+  mutable free_ent : int;
+  (* emitted code stream kept for the decode pass *)
+  mutable out_codes : int list; (* reversed *)
+  mutable out_len : int;
+}
+
+let make_input st len =
+  (* Zipf symbols with occasional phrase repetition: enough redundancy
+     that LZW builds deep chains. *)
+  let buf = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    if !pos > 64 && Prng.bool st.rng ~p:0.35 then begin
+      (* copy an earlier phrase *)
+      let plen = 4 + Prng.int st.rng ~bound:28 in
+      let src = Prng.int st.rng ~bound:(!pos - plen - 1 |> max 1) in
+      let n = min plen (len - !pos) in
+      Bytes.blit buf src buf !pos n;
+      pos := !pos + n
+    end
+    else begin
+      let sym = Prng.zipf st.rng ~n:alphabet ~s:1.35 in
+      Bytes.set buf !pos (Char.chr (32 + sym));
+      incr pos
+    end
+  done;
+  buf
+
+let hash fcode = (fcode lsl 8) lxor (fcode lsr 4)
+
+(* Encode one chunk of input, emitting htab/codetab probe traffic and the
+   output code stream. *)
+let encode st buf =
+  let e = st.e in
+  let emit_code code =
+    Workload.Emitter.write e st.codes (st.out_len mod (st.codes.Region.size / 2));
+    st.out_codes <- code :: st.out_codes;
+    st.out_len <- st.out_len + 1
+  in
+  let len = Bytes.length buf in
+  let ent = ref (Char.code (Bytes.get buf 0)) in
+  Workload.Emitter.read e st.input 0;
+  for i = 1 to len - 1 do
+    let c = Char.code (Bytes.get buf i) in
+    Workload.Emitter.read e st.input (i mod (st.input.Region.size));
+    let fcode = (c lsl 16) + !ent in
+    let h = ref (hash fcode mod hsize) in
+    if !h < 0 then h := !h + hsize;
+    Workload.Emitter.ops e 4;
+    let disp = if !h = 0 then 1 else hsize - !h in
+    let rec probe tries =
+      Workload.Emitter.read e st.htab !h;
+      if st.h_fcode.(!h) = fcode then begin
+        (* hit: continue the current string *)
+        Workload.Emitter.read e st.codetab !h;
+        ent := st.h_code.(!h);
+        true
+      end
+      else if st.h_fcode.(!h) = -1 || tries > 8 then false
+      else begin
+        h := !h - disp;
+        if !h < 0 then h := !h + hsize;
+        Workload.Emitter.ops e 2;
+        probe (tries + 1)
+      end
+    in
+    if not (probe 0) then begin
+      emit_code !ent;
+      if st.free_ent < code_limit then begin
+        (* record the new string in both encoder and decoder tables *)
+        Workload.Emitter.write e st.htab !h;
+        Workload.Emitter.write e st.codetab !h;
+        st.h_fcode.(!h) <- fcode;
+        st.h_code.(!h) <- st.free_ent;
+        st.prefix.(st.free_ent) <- !ent;
+        st.suffix.(st.free_ent) <- c;
+        Workload.Emitter.write e st.chains st.free_ent;
+        st.free_ent <- st.free_ent + 1
+      end;
+      ent := c
+    end;
+    Workload.Emitter.ops e 3
+  done;
+  emit_code !ent
+
+(* Decode the accumulated code stream: prefix-chain walking (self-indirect
+   loads on [chains]) plus stack pushes/pops and sequential output. *)
+let decode st =
+  let e = st.e in
+  let codes = Array.of_list (List.rev st.out_codes) in
+  let stack_cap = st.stack.Region.size in
+  let out = ref 0 in
+  let code_slots = st.codes.Region.size / 2 in
+  Array.iteri
+    (fun i code ->
+      Workload.Emitter.read e st.codes (i mod code_slots);
+      let sp = ref 0 in
+      let c = ref code in
+      while !c >= 256 && !sp < stack_cap - 1 do
+        (* self-indirect: the loaded prefix value is the next address *)
+        Workload.Emitter.read e st.chains !c;
+        Workload.Emitter.write e st.stack !sp;
+        ignore st.suffix.(!c);
+        c := st.prefix.(!c);
+        incr sp;
+        Workload.Emitter.ops e 2
+      done;
+      Workload.Emitter.write e st.stack !sp;
+      incr sp;
+      (* unwind the stack to the output stream *)
+      while !sp > 0 do
+        decr sp;
+        Workload.Emitter.read e st.stack !sp;
+        Workload.Emitter.write e st.decout (!out mod st.decout.Region.size);
+        incr out;
+        Workload.Emitter.ops e 1
+      done)
+    codes
+
+let generate ~scale ~seed =
+  if scale <= 0 then invalid_arg "Kern_compress.generate: scale must be positive";
+  let lay = Layout.create () in
+  let input =
+    Layout.alloc lay ~name:"input" ~elems:(256 * 1024) ~elem_size:1
+      ~hint:Region.Stream
+  and codes =
+    Layout.alloc lay ~name:"codes" ~elems:(128 * 1024) ~elem_size:2
+      ~hint:Region.Stream
+  and decout =
+    Layout.alloc lay ~name:"decout" ~elems:(256 * 1024) ~elem_size:1
+      ~hint:Region.Stream
+  and htab =
+    Layout.alloc lay ~name:"htab" ~elems:hsize ~elem_size:8
+      ~hint:Region.Random_access
+  and codetab =
+    Layout.alloc lay ~name:"codetab" ~elems:hsize ~elem_size:2
+      ~hint:Region.Random_access
+  and chains =
+    Layout.alloc lay ~name:"chains" ~elems:code_limit ~elem_size:4
+      ~hint:Region.Self_indirect
+  and stack =
+    Layout.alloc lay ~name:"stack" ~elems:4096 ~elem_size:1
+      ~hint:Region.Indexed
+  in
+  let st =
+    {
+      e = Workload.Emitter.create ();
+      rng = Prng.create ~seed;
+      input;
+      codes;
+      decout;
+      htab;
+      codetab;
+      chains;
+      stack;
+      h_fcode = Array.make hsize (-1);
+      h_code = Array.make hsize 0;
+      prefix = Array.make code_limit 0;
+      suffix = Array.make code_limit 0;
+      free_ent = first_free;
+      out_codes = [];
+      out_len = 0;
+    }
+  in
+  (* Alternate encode/decode rounds until the trace is big enough; each
+     round encodes a fresh chunk and decodes everything emitted so far,
+     as 129.compress alternates compression and decompression passes. *)
+  while Workload.Emitter.trace_length st.e < scale do
+    let chunk = make_input st input_chunk in
+    encode st chunk;
+    decode st;
+    st.out_codes <- [];
+    st.out_len <- 0
+  done;
+  Workload.Emitter.finish st.e ~name ~regions:(Layout.regions lay)

@@ -1,0 +1,25 @@
+(** The [compress] workload (stand-in for SPEC95 129.compress).
+
+    A faithful LZW compressor/decompressor pair instrumented at the
+    data-structure level.  It reproduces the access-pattern mix the
+    paper exploits for this benchmark:
+
+    - [input], [codes], [decout]: sequential streams;
+    - [htab]/[codetab]: large hash tables probed pseudo-randomly
+      (open addressing with secondary probing, as in compress.c);
+    - [chains]: the prefix/suffix code table, walked by the decoder via
+      {e self-indirect} references — the value loaded at [chains\[code\]]
+      is the next code to load, exactly the pattern the paper's
+      linked-list-DMA module targets;
+    - [stack]: a small hot decode stack.
+
+    The synthetic input has LZ-style redundancy (zipf symbols plus
+    repeated phrases) so the dictionary actually fills and chains grow. *)
+
+val name : string
+
+val generate : scale:int -> seed:int -> Workload.t
+(** [generate ~scale ~seed] runs the kernel until the trace holds at
+    least [scale] accesses (the final size slightly overshoots; the
+    kernel always finishes the byte it is processing).
+    @raise Invalid_argument if [scale <= 0]. *)

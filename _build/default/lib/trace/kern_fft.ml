@@ -1,0 +1,148 @@
+(* Iterative radix-2 DIT FFT over fixed-point complex frames.  The
+   arithmetic is real (scaled integers); every buffer and twiddle access
+   is traced. *)
+
+module Prng = Mx_util.Prng
+
+let name = "fft"
+
+let n_points = 4096
+let log2n = 12
+
+type state = {
+  e : Workload.Emitter.e;
+  rng : Prng.t;
+  input : Region.t;
+  buf : Region.t; (* interleaved re/im, 2 * n_points elements *)
+  twiddle : Region.t;
+  output : Region.t;
+  re : int array;
+  im : int array;
+  tw_re : int array;
+  tw_im : int array;
+  mutable in_pos : int;
+  mutable out_pos : int;
+}
+
+let bit_reverse x bits =
+  let r = ref 0 and v = ref x in
+  for _ = 1 to bits do
+    r := (!r lsl 1) lor (!v land 1);
+    v := !v lsr 1
+  done;
+  !r
+
+let load_frame st =
+  for i = 0 to n_points - 1 do
+    Workload.Emitter.read st.e st.input
+      (st.in_pos mod (st.input.Region.size / 2));
+    st.in_pos <- st.in_pos + 1;
+    st.re.(i) <-
+      int_of_float (1000.0 *. sin (float_of_int i /. 5.0))
+      + Prng.int st.rng ~bound:101 - 50;
+    st.im.(i) <- 0;
+    Workload.Emitter.write st.e st.buf (2 * i);
+    Workload.Emitter.write st.e st.buf ((2 * i) + 1);
+    Workload.Emitter.ops st.e 2
+  done
+
+let bit_reversal_pass st =
+  for i = 0 to n_points - 1 do
+    let j = bit_reverse i log2n in
+    if j > i then begin
+      Workload.Emitter.read st.e st.buf (2 * i);
+      Workload.Emitter.read st.e st.buf (2 * j);
+      let tr = st.re.(i) and ti = st.im.(i) in
+      st.re.(i) <- st.re.(j);
+      st.im.(i) <- st.im.(j);
+      st.re.(j) <- tr;
+      st.im.(j) <- ti;
+      Workload.Emitter.write st.e st.buf (2 * i);
+      Workload.Emitter.write st.e st.buf (2 * j);
+      Workload.Emitter.ops st.e 3
+    end
+  done
+
+let butterfly_stages st =
+  let len = ref 2 in
+  while !len <= n_points do
+    let half = !len / 2 in
+    let step = n_points / !len in
+    let i = ref 0 in
+    while !i < n_points do
+      for k = 0 to half - 1 do
+        let tw_idx = k * step in
+        Workload.Emitter.read st.e st.twiddle tw_idx;
+        let a = !i + k and b = !i + k + half in
+        Workload.Emitter.read st.e st.buf (2 * a);
+        Workload.Emitter.read st.e st.buf (2 * b);
+        let wr = st.tw_re.(tw_idx) and wi = st.tw_im.(tw_idx) in
+        let xr = ((st.re.(b) * wr) - (st.im.(b) * wi)) / 1024
+        and xi = ((st.re.(b) * wi) + (st.im.(b) * wr)) / 1024 in
+        st.re.(b) <- st.re.(a) - xr;
+        st.im.(b) <- st.im.(a) - xi;
+        st.re.(a) <- st.re.(a) + xr;
+        st.im.(a) <- st.im.(a) + xi;
+        Workload.Emitter.write st.e st.buf (2 * a);
+        Workload.Emitter.write st.e st.buf (2 * b);
+        Workload.Emitter.ops st.e 10
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let store_frame st =
+  for i = 0 to n_points - 1 do
+    Workload.Emitter.read st.e st.buf (2 * i);
+    Workload.Emitter.write st.e st.output
+      (st.out_pos mod (st.output.Region.size / 4));
+    st.out_pos <- st.out_pos + 1;
+    Workload.Emitter.ops st.e 1
+  done
+
+let generate ~scale ~seed =
+  if scale <= 0 then invalid_arg "Kern_fft.generate: scale must be positive";
+  let lay = Layout.create () in
+  let input =
+    Layout.alloc lay ~name:"input" ~elems:(32 * 1024) ~elem_size:2
+      ~hint:Region.Stream
+  and buf =
+    Layout.alloc lay ~name:"buf" ~elems:(2 * n_points) ~elem_size:4
+      ~hint:Region.Mixed
+  and twiddle =
+    Layout.alloc lay ~name:"twiddle" ~elems:(n_points / 2) ~elem_size:4
+      ~hint:Region.Indexed
+  and output =
+    Layout.alloc lay ~name:"output" ~elems:(16 * 1024) ~elem_size:4
+      ~hint:Region.Stream
+  in
+  let st =
+    {
+      e = Workload.Emitter.create ();
+      rng = Prng.create ~seed;
+      input;
+      buf;
+      twiddle;
+      output;
+      re = Array.make n_points 0;
+      im = Array.make n_points 0;
+      tw_re =
+        Array.init (n_points / 2) (fun k ->
+            int_of_float
+              (1024.0 *. cos (-2.0 *. Float.pi *. float_of_int k /. float_of_int n_points)));
+      tw_im =
+        Array.init (n_points / 2) (fun k ->
+            int_of_float
+              (1024.0 *. sin (-2.0 *. Float.pi *. float_of_int k /. float_of_int n_points)));
+      in_pos = 0;
+      out_pos = 0;
+    }
+  in
+  while Workload.Emitter.trace_length st.e < scale do
+    load_frame st;
+    bit_reversal_pass st;
+    butterfly_stages st;
+    store_frame st
+  done;
+  Workload.Emitter.finish st.e ~name ~regions:(Layout.regions lay)

@@ -1,0 +1,17 @@
+(** A radix-2 FFT workload (scientific class).
+
+    Iterative in-place decimation-in-time FFT over 4096-point frames:
+    bit-reversal permutation (large-stride scattered accesses over the
+    working buffer), butterfly stages with doubling strides, a hot
+    twiddle-factor table, and streaming input/output.
+
+    The stage-dependent strides make this a stress test for the stream
+    buffer (early stages look sequential, late stages do not) and for
+    cache line-size choices — the "scientific applications" class of
+    the paper's evaluation. *)
+
+val name : string
+
+val generate : scale:int -> seed:int -> Workload.t
+(** Transform frames until at least [scale] accesses are traced.
+    @raise Invalid_argument if [scale <= 0]. *)

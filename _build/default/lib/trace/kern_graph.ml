@@ -1,0 +1,197 @@
+(* Dijkstra over an adjacency-list graph with an explicit binary heap.
+   Edge lists are real linked cells ((target, weight, next) records laid
+   out in one arena in insertion order), so traversal is genuine pointer
+   chasing. *)
+
+module Prng = Mx_util.Prng
+
+let name = "dijkstra"
+
+let n_nodes = 1024
+let avg_degree = 6
+let nil = -1
+
+type state = {
+  e : Workload.Emitter.e;
+  rng : Prng.t;
+  nodes : Region.t; (* head pointer per node *)
+  edges : Region.t; (* edge cells: (target, weight, next) *)
+  dist : Region.t;
+  heap : Region.t;
+  head : int array;
+  edge_target : int array;
+  edge_weight : int array;
+  edge_next : int array;
+  distance : int array;
+  heap_node : int array;
+  heap_key : int array;
+  mutable heap_len : int;
+}
+
+(* -- binary heap (traced) ------------------------------------------- *)
+
+let heap_swap st i j =
+  let tn = st.heap_node.(i) and tk = st.heap_key.(i) in
+  st.heap_node.(i) <- st.heap_node.(j);
+  st.heap_key.(i) <- st.heap_key.(j);
+  st.heap_node.(j) <- tn;
+  st.heap_key.(j) <- tk;
+  Workload.Emitter.write st.e st.heap i;
+  Workload.Emitter.write st.e st.heap j
+
+let rec sift_up st i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    Workload.Emitter.read st.e st.heap parent;
+    Workload.Emitter.read st.e st.heap i;
+    Workload.Emitter.ops st.e 2;
+    if st.heap_key.(i) < st.heap_key.(parent) then begin
+      heap_swap st i parent;
+      sift_up st parent
+    end
+  end
+
+let rec sift_down st i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < st.heap_len then begin
+    Workload.Emitter.read st.e st.heap l;
+    if st.heap_key.(l) < st.heap_key.(!best) then best := l
+  end;
+  if r < st.heap_len then begin
+    Workload.Emitter.read st.e st.heap r;
+    if st.heap_key.(r) < st.heap_key.(!best) then best := r
+  end;
+  Workload.Emitter.ops st.e 3;
+  if !best <> i then begin
+    heap_swap st i !best;
+    sift_down st !best
+  end
+
+let heap_push st node key =
+  let i = st.heap_len in
+  if i < Array.length st.heap_node then begin
+    st.heap_node.(i) <- node;
+    st.heap_key.(i) <- key;
+    st.heap_len <- st.heap_len + 1;
+    Workload.Emitter.write st.e st.heap i;
+    sift_up st i
+  end
+
+let heap_pop st =
+  if st.heap_len = 0 then None
+  else begin
+    Workload.Emitter.read st.e st.heap 0;
+    let node = st.heap_node.(0) and key = st.heap_key.(0) in
+    st.heap_len <- st.heap_len - 1;
+    st.heap_node.(0) <- st.heap_node.(st.heap_len);
+    st.heap_key.(0) <- st.heap_key.(st.heap_len);
+    Workload.Emitter.write st.e st.heap 0;
+    sift_down st 0;
+    Some (node, key)
+  end
+
+(* -- graph construction ---------------------------------------------- *)
+
+let build_graph st =
+  let n_edges = Array.length st.edge_target in
+  let cursor = ref 0 in
+  (* a ring backbone keeps the graph connected, then random extra edges;
+     edge cells are allocated in shuffled order so "next" pointers jump
+     around the arena like a real mutated heap *)
+  let add_edge u v w =
+    if !cursor < n_edges then begin
+      let cell = !cursor in
+      incr cursor;
+      st.edge_target.(cell) <- v;
+      st.edge_weight.(cell) <- w;
+      st.edge_next.(cell) <- st.head.(u);
+      st.head.(u) <- cell
+    end
+  in
+  for u = 0 to n_nodes - 1 do
+    add_edge u ((u + 1) mod n_nodes) (1 + Prng.int st.rng ~bound:9)
+  done;
+  while !cursor < n_edges do
+    let u = Prng.int st.rng ~bound:n_nodes in
+    let v = Prng.int st.rng ~bound:n_nodes in
+    if u <> v then add_edge u v (1 + Prng.int st.rng ~bound:99)
+  done
+
+(* -- the search -------------------------------------------------------- *)
+
+let dijkstra st source =
+  Array.fill st.distance 0 n_nodes max_int;
+  st.heap_len <- 0;
+  st.distance.(source) <- 0;
+  Workload.Emitter.write st.e st.dist source;
+  heap_push st source 0;
+  let budget = ref (n_nodes * 2) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    decr budget;
+    match heap_pop st with
+    | None -> continue := false
+    | Some (u, key) ->
+      Workload.Emitter.read st.e st.dist u;
+      if key <= st.distance.(u) then begin
+        (* chase the adjacency list: self-indirect loads on the arena *)
+        Workload.Emitter.read st.e st.nodes u;
+        let cell = ref st.head.(u) in
+        while !cell <> nil do
+          Workload.Emitter.read st.e st.edges !cell;
+          let v = st.edge_target.(!cell)
+          and w = st.edge_weight.(!cell) in
+          let nd = key + w in
+          Workload.Emitter.read st.e st.dist v;
+          Workload.Emitter.ops st.e 3;
+          if nd < st.distance.(v) then begin
+            st.distance.(v) <- nd;
+            Workload.Emitter.write st.e st.dist v;
+            heap_push st v nd
+          end;
+          cell := st.edge_next.(!cell)
+        done
+      end
+  done
+
+let generate ~scale ~seed =
+  if scale <= 0 then invalid_arg "Kern_graph.generate: scale must be positive";
+  let n_edges = n_nodes * avg_degree in
+  let lay = Layout.create () in
+  let nodes =
+    Layout.alloc lay ~name:"nodes" ~elems:n_nodes ~elem_size:4
+      ~hint:Region.Random_access
+  and edges =
+    Layout.alloc lay ~name:"edges" ~elems:n_edges ~elem_size:8
+      ~hint:Region.Self_indirect
+  and dist =
+    Layout.alloc lay ~name:"dist" ~elems:n_nodes ~elem_size:4
+      ~hint:Region.Random_access
+  and heap =
+    Layout.alloc lay ~name:"heap" ~elems:n_nodes ~elem_size:8
+      ~hint:Region.Indexed
+  in
+  let st =
+    {
+      e = Workload.Emitter.create ();
+      rng = Prng.create ~seed;
+      nodes;
+      edges;
+      dist;
+      heap;
+      head = Array.make n_nodes nil;
+      edge_target = Array.make n_edges 0;
+      edge_weight = Array.make n_edges 0;
+      edge_next = Array.make n_edges nil;
+      distance = Array.make n_nodes max_int;
+      heap_node = Array.make n_nodes 0;
+      heap_key = Array.make n_nodes 0;
+      heap_len = 0;
+    }
+  in
+  build_graph st;
+  while Workload.Emitter.trace_length st.e < scale do
+    dijkstra st (Prng.int st.rng ~bound:n_nodes)
+  done;
+  Workload.Emitter.finish st.e ~name ~regions:(Layout.regions lay)

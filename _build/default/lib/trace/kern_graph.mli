@@ -1,0 +1,19 @@
+(** A graph-traversal workload (pointer-chasing class, like li).
+
+    Dijkstra-style shortest-path search over an adjacency-list graph
+    stored as real linked structures: a node table (random access keyed
+    by the frontier), per-node edge lists chased pointer-by-pointer
+    ({e self-indirect} — the linked-list DMA's target pattern), a binary
+    heap priority queue (hot, indexed) and a distance table.
+
+    The paper's li benchmark shows how pointer-dominated workloads
+    benefit from self-indirect DMA modules; this kernel provides a
+    second, independent workload in the same class with a very different
+    algorithm. *)
+
+val name : string
+
+val generate : scale:int -> seed:int -> Workload.t
+(** Run single-source searches from random sources until at least
+    [scale] accesses are traced.
+    @raise Invalid_argument if [scale <= 0]. *)

@@ -1,0 +1,192 @@
+(* Baseline-JPEG-shaped encoder: real integer DCT-II butterflies over
+   8x8 blocks of a synthetic image, quantisation, zig-zag, RLE and a
+   hashed Huffman-table lookup.  All data-structure references traced. *)
+
+module Prng = Mx_util.Prng
+
+let name = "jpeg"
+
+let image_w = 512
+let image_h = 512
+let block = 8
+let huff_size = 512
+
+type state = {
+  e : Workload.Emitter.e;
+  rng : Prng.t;
+  image : Region.t;
+  work : Region.t;
+  qtable : Region.t;
+  zigzag : Region.t;
+  huff : Region.t;
+  bitstream : Region.t;
+  pixels : int array;
+  coeffs : int array; (* 64-entry working block *)
+  quant : int array;
+  zz : int array;
+  mutable out_pos : int;
+  mutable block_x : int;
+  mutable block_y : int;
+}
+
+(* standard luminance quantisation table (flattened) *)
+let q_luma =
+  [|
+    16; 11; 10; 16; 24; 40; 51; 61; 12; 12; 14; 19; 26; 58; 60; 55; 14; 13;
+    16; 24; 40; 57; 69; 56; 14; 17; 22; 29; 51; 87; 80; 62; 18; 22; 37; 56;
+    68; 109; 103; 77; 24; 35; 55; 64; 81; 104; 113; 92; 49; 64; 78; 87; 103;
+    121; 120; 101; 72; 92; 95; 98; 112; 100; 103; 99;
+  |]
+
+let zigzag_order =
+  [|
+    0; 1; 8; 16; 9; 2; 3; 10; 17; 24; 32; 25; 18; 11; 4; 5; 12; 19; 26; 33;
+    40; 48; 41; 34; 27; 20; 13; 6; 7; 14; 21; 28; 35; 42; 49; 56; 57; 50;
+    43; 36; 29; 22; 15; 23; 30; 37; 44; 51; 58; 59; 52; 45; 38; 31; 39; 46;
+    53; 60; 61; 54; 47; 55; 62; 63;
+  |]
+
+let synth_image rng =
+  (* smooth gradients + texture: enough energy in low frequencies that
+     RLE actually compresses *)
+  Array.init (image_w * image_h) (fun i ->
+      let x = i mod image_w and y = i / image_w in
+      let v =
+        128
+        + int_of_float (60.0 *. sin (float_of_int x /. 37.0))
+        + int_of_float (40.0 *. cos (float_of_int y /. 23.0))
+        + Prng.int rng ~bound:17 - 8
+      in
+      max 0 (min 255 v))
+
+(* one-dimensional integer DCT-II on 8 samples in place (classic
+   Loeffler-style staging, coarse integer arithmetic) *)
+let dct8 (v : int array) off stride e =
+  let g i = v.(off + (i * stride)) in
+  let s i x = v.(off + (i * stride)) <- x in
+  let a0 = g 0 + g 7 and a7 = g 0 - g 7 in
+  let a1 = g 1 + g 6 and a6 = g 1 - g 6 in
+  let a2 = g 2 + g 5 and a5 = g 2 - g 5 in
+  let a3 = g 3 + g 4 and a4 = g 3 - g 4 in
+  let b0 = a0 + a3 and b3 = a0 - a3 in
+  let b1 = a1 + a2 and b2 = a1 - a2 in
+  s 0 (b0 + b1);
+  s 4 (b0 - b1);
+  s 2 ((b2 * 54) / 128 + (b3 * 130) / 128);
+  s 6 ((b3 * 54) / 128 - (b2 * 130) / 128);
+  let c4 = (a4 * 70) / 128 + (a7 * 126) / 128
+  and c7 = (a7 * 70) / 128 - (a4 * 126) / 128
+  and c5 = (a5 * 100) / 128 + (a6 * 100) / 128
+  and c6 = (a6 * 100) / 128 - (a5 * 100) / 128 in
+  s 1 (c4 + c5);
+  s 5 (c4 - c5);
+  s 3 (c7 + c6);
+  s 7 (c7 - c6);
+  Workload.Emitter.ops e 24
+
+let encode_block st =
+  let e = st.e in
+  let bx = st.block_x * block and by = st.block_y * block in
+  (* fetch the 8x8 tile from the raster *)
+  for r = 0 to block - 1 do
+    for c = 0 to block - 1 do
+      let idx = ((by + r) * image_w) + bx + c in
+      Workload.Emitter.read e st.image idx;
+      st.coeffs.((r * block) + c) <- st.pixels.(idx) - 128;
+      Workload.Emitter.write e st.work ((r * block) + c)
+    done
+  done;
+  (* 2-D DCT: rows then columns over the hot working block *)
+  for r = 0 to block - 1 do
+    for c = 0 to block - 1 do
+      Workload.Emitter.read e st.work ((r * block) + c)
+    done;
+    dct8 st.coeffs (r * block) 1 e;
+    for c = 0 to block - 1 do
+      Workload.Emitter.write e st.work ((r * block) + c)
+    done
+  done;
+  for c = 0 to block - 1 do
+    for r = 0 to block - 1 do
+      Workload.Emitter.read e st.work ((r * block) + c)
+    done;
+    dct8 st.coeffs c block e;
+    for r = 0 to block - 1 do
+      Workload.Emitter.write e st.work ((r * block) + c)
+    done
+  done;
+  (* quantise + zig-zag + RLE + Huffman lookups *)
+  let run = ref 0 in
+  for k = 0 to 63 do
+    Workload.Emitter.read e st.zigzag k;
+    let pos = st.zz.(k) in
+    Workload.Emitter.read e st.work pos;
+    Workload.Emitter.read e st.qtable pos;
+    let q = st.coeffs.(pos) / max 1 st.quant.(pos) in
+    Workload.Emitter.ops e 3;
+    if q = 0 then incr run
+    else begin
+      (* (run, level) symbol through the Huffman table *)
+      let sym = abs ((!run * 31) + (q * 7)) mod huff_size in
+      Workload.Emitter.read e st.huff sym;
+      Workload.Emitter.write e st.bitstream
+        (st.out_pos mod (st.bitstream.Region.size / 2));
+      st.out_pos <- st.out_pos + 1;
+      run := 0
+    end
+  done;
+  (* end-of-block symbol *)
+  Workload.Emitter.read e st.huff 0;
+  Workload.Emitter.write e st.bitstream
+    (st.out_pos mod (st.bitstream.Region.size / 2));
+  st.out_pos <- st.out_pos + 1;
+  (* advance to the next block in raster order *)
+  st.block_x <- st.block_x + 1;
+  if st.block_x >= image_w / block then begin
+    st.block_x <- 0;
+    st.block_y <- (st.block_y + 1) mod (image_h / block)
+  end
+
+let generate ~scale ~seed =
+  if scale <= 0 then invalid_arg "Kern_jpeg.generate: scale must be positive";
+  let lay = Layout.create () in
+  let image =
+    Layout.alloc lay ~name:"image" ~elems:(image_w * image_h) ~elem_size:1
+      ~hint:Region.Stream
+  and work =
+    Layout.alloc lay ~name:"work" ~elems:64 ~elem_size:2 ~hint:Region.Indexed
+  and qtable =
+    Layout.alloc lay ~name:"qtable" ~elems:64 ~elem_size:2 ~hint:Region.Indexed
+  and zigzag =
+    Layout.alloc lay ~name:"zigzag" ~elems:64 ~elem_size:1 ~hint:Region.Indexed
+  and huff =
+    Layout.alloc lay ~name:"huff" ~elems:huff_size ~elem_size:4
+      ~hint:Region.Random_access
+  and bitstream =
+    Layout.alloc lay ~name:"bitstream" ~elems:(64 * 1024) ~elem_size:2
+      ~hint:Region.Stream
+  in
+  let rng = Prng.create ~seed in
+  let st =
+    {
+      e = Workload.Emitter.create ();
+      rng;
+      image;
+      work;
+      qtable;
+      zigzag;
+      huff;
+      bitstream;
+      pixels = synth_image rng;
+      coeffs = Array.make 64 0;
+      quant = q_luma;
+      zz = zigzag_order;
+      out_pos = 0;
+      block_x = 0;
+      block_y = 0;
+    }
+  in
+  while Workload.Emitter.trace_length st.e < scale do
+    encode_block st
+  done;
+  Workload.Emitter.finish st.e ~name ~regions:(Layout.regions lay)

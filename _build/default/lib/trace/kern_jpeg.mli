@@ -1,0 +1,18 @@
+(** A JPEG-style image encoder workload (multimedia class).
+
+    Per 8x8 block: raster fetch from the image, level shift, an integer
+    8x8 DCT (real row/column butterflies), quantisation through a hot
+    table, zig-zag reordering, run-length coding and Huffman-table
+    lookups into the output bitstream.
+
+    Region mix: a large input raster (stream with 8-line locality), a
+    tiny hot working block and coefficient tables (Indexed), a Huffman
+    code table (Random_access) and the output bitstream (stream).  This
+    is the "multimedia" pattern class the paper's introduction motivates
+    alongside compress/vocoder. *)
+
+val name : string
+
+val generate : scale:int -> seed:int -> Workload.t
+(** Encode blocks until at least [scale] accesses are traced.
+    @raise Invalid_argument if [scale <= 0]. *)

@@ -1,0 +1,240 @@
+(* A miniature lisp-ish list engine with a real two-word cons heap, a
+   mark/sweep collector and an interned symbol table.  Every cell,
+   symbol-table and environment touch is traced. *)
+
+module Prng = Mx_util.Prng
+
+let name = "li"
+
+let heap_cells = 24 * 1024
+let symtab_size = 4093 (* prime, open addressing *)
+let env_slots = 256
+let nil = -1
+
+type state = {
+  e : Workload.Emitter.e;
+  rng : Prng.t;
+  cells : Region.t;
+  symtab : Region.t;
+  env : Region.t;
+  prog : Region.t;
+  result : Region.t;
+  car : int array;
+  cdr : int array;
+  marked : Bytes.t;
+  symbols : int array;
+  mutable free : int; (* head of the free list *)
+  mutable live_roots : int list; (* protected list heads *)
+  mutable prog_pos : int;
+  mutable out_pos : int;
+}
+
+let read_cell st i =
+  Workload.Emitter.read st.e st.cells i;
+  (st.car.(i), st.cdr.(i))
+
+let write_cell st i ~car ~cdr =
+  Workload.Emitter.write st.e st.cells i;
+  st.car.(i) <- car;
+  st.cdr.(i) <- cdr
+
+(* -- allocation ---------------------------------------------------- *)
+
+let build_free_list st =
+  for i = 0 to heap_cells - 2 do
+    st.car.(i) <- 0;
+    st.cdr.(i) <- i + 1
+  done;
+  st.car.(heap_cells - 1) <- 0;
+  st.cdr.(heap_cells - 1) <- nil;
+  st.free <- 0
+
+exception Heap_exhausted
+
+let cons st ~car ~cdr =
+  if st.free = nil then raise Heap_exhausted;
+  let cell = st.free in
+  let _, next = read_cell st cell in
+  st.free <- next;
+  write_cell st cell ~car ~cdr;
+  Workload.Emitter.ops st.e 2;
+  cell
+
+(* -- garbage collection -------------------------------------------- *)
+
+let rec mark st cell =
+  if cell <> nil && Bytes.get st.marked cell = '\000' then begin
+    Bytes.set st.marked cell '\001';
+    let car, cdr = read_cell st cell in
+    Workload.Emitter.ops st.e 2;
+    (* car holds a symbol payload (non-pointer) for leaves, or a cell
+       index for nested lists, distinguished by tag bit *)
+    if car land 1 = 0 && car / 2 < heap_cells && car >= 0 then mark st (car / 2);
+    mark st cdr
+  end
+
+let sweep st =
+  Bytes.fill st.marked 0 heap_cells '\000';
+  List.iter (fun root -> mark st root) st.live_roots;
+  (* sequential sweep rebuilding the free list *)
+  let free = ref nil in
+  for i = heap_cells - 1 downto 0 do
+    if Bytes.get st.marked i = '\000' then begin
+      Workload.Emitter.write st.e st.cells i;
+      st.cdr.(i) <- !free;
+      free := i
+    end
+  done;
+  st.free <- !free;
+  if st.free = nil then begin
+    (* heap entirely live: drop every root and rebuild *)
+    st.live_roots <- [];
+    build_free_list st
+  end
+
+let cons_gc st ~car ~cdr =
+  match cons st ~car ~cdr with
+  | cell -> cell
+  | exception Heap_exhausted ->
+    sweep st;
+    cons st ~car ~cdr
+
+(* -- symbol interning ---------------------------------------------- *)
+
+let intern st sym =
+  let h = ref (abs (sym * 2654435761) mod symtab_size) in
+  let rec probe tries =
+    Workload.Emitter.read st.e st.symtab !h;
+    if st.symbols.(!h) = sym then !h
+    else if st.symbols.(!h) = -1 || tries > 6 then begin
+      Workload.Emitter.write st.e st.symtab !h;
+      st.symbols.(!h) <- sym;
+      !h
+    end
+    else begin
+      h := (!h + 1) mod symtab_size;
+      Workload.Emitter.ops st.e 1;
+      probe (tries + 1)
+    end
+  in
+  probe 0
+
+(* -- interpreter steps ---------------------------------------------- *)
+
+let next_token st =
+  Workload.Emitter.read st.e st.prog (st.prog_pos mod (st.prog.Region.size / 2));
+  st.prog_pos <- st.prog_pos + 1;
+  Prng.zipf st.rng ~n:512 ~s:1.05
+
+let build_list st len =
+  let head = ref nil in
+  for _ = 1 to len do
+    let sym = next_token st in
+    let slot = intern st sym in
+    Workload.Emitter.read st.e st.env (slot mod env_slots);
+    (* leaf payload tagged with low bit set *)
+    head := cons_gc st ~car:((sym * 2) + 1) ~cdr:!head
+  done;
+  !head
+
+let traverse st head =
+  (* cdr-chasing walk: the textbook self-indirect pattern *)
+  let count = ref 0 in
+  let cell = ref head in
+  while !cell <> nil do
+    let _, cdr = read_cell st !cell in
+    Workload.Emitter.ops st.e 1;
+    cell := cdr;
+    incr count
+  done;
+  !count
+
+let map_list st head =
+  (* allocate a fresh list of the same spine *)
+  let out = ref nil in
+  let cell = ref head in
+  while !cell <> nil do
+    let car, cdr = read_cell st !cell in
+    out := cons_gc st ~car ~cdr:!out;
+    Workload.Emitter.ops st.e 2;
+    cell := cdr
+  done;
+  !out
+
+let emit_result st v =
+  Workload.Emitter.write st.e st.result (st.out_pos mod (st.result.Region.size / 4));
+  Workload.Emitter.ops st.e 1;
+  ignore v;
+  st.out_pos <- st.out_pos + 1
+
+let step st =
+  let op = Prng.int st.rng ~bound:10 in
+  let pick_root () =
+    match st.live_roots with
+    | [] -> nil
+    | roots -> List.nth roots (Prng.int st.rng ~bound:(List.length roots))
+  in
+  if op < 4 then begin
+    (* build a fresh list and keep it live *)
+    let len = 4 + Prng.zipf st.rng ~n:120 ~s:0.9 in
+    let l = build_list st len in
+    st.live_roots <- l :: st.live_roots;
+    if List.length st.live_roots > 48 then
+      st.live_roots <-
+        List.filteri (fun i _ -> i < 40) st.live_roots
+  end
+  else if op < 8 then begin
+    let r = pick_root () in
+    if r <> nil then emit_result st (traverse st r)
+  end
+  else begin
+    let r = pick_root () in
+    if r <> nil then begin
+      let l = map_list st r in
+      st.live_roots <- l :: st.live_roots
+    end
+  end
+
+let generate ~scale ~seed =
+  if scale <= 0 then invalid_arg "Kern_li.generate: scale must be positive";
+  let lay = Layout.create () in
+  let cells =
+    Layout.alloc lay ~name:"cells" ~elems:heap_cells ~elem_size:8
+      ~hint:Region.Self_indirect
+  and symtab =
+    Layout.alloc lay ~name:"symtab" ~elems:symtab_size ~elem_size:4
+      ~hint:Region.Random_access
+  and env =
+    Layout.alloc lay ~name:"env" ~elems:env_slots ~elem_size:4
+      ~hint:Region.Indexed
+  and prog =
+    Layout.alloc lay ~name:"prog" ~elems:(64 * 1024) ~elem_size:2
+      ~hint:Region.Stream
+  and result =
+    Layout.alloc lay ~name:"result" ~elems:(32 * 1024) ~elem_size:4
+      ~hint:Region.Stream
+  in
+  let st =
+    {
+      e = Workload.Emitter.create ();
+      rng = Prng.create ~seed;
+      cells;
+      symtab;
+      env;
+      prog;
+      result;
+      car = Array.make heap_cells 0;
+      cdr = Array.make heap_cells nil;
+      marked = Bytes.make heap_cells '\000';
+      symbols = Array.make symtab_size (-1);
+      free = 0;
+      live_roots = [];
+      prog_pos = 0;
+      out_pos = 0;
+    }
+  in
+  build_free_list st;
+  while Workload.Emitter.trace_length st.e < scale do
+    step st
+  done;
+  Workload.Emitter.finish st.e ~name ~regions:(Layout.regions lay)

@@ -1,0 +1,23 @@
+(** The [li] workload (stand-in for SPEC95 130.li, the xlisp
+    interpreter).
+
+    A miniature list-processing engine over a real cons-cell heap:
+
+    - [cells]: the cons heap; built by bump allocation, then traversed
+      by cdr-chasing ({e self-indirect}), and periodically mark/swept by
+      a stop-the-world GC (mark = pointer chasing, sweep = sequential);
+    - [symtab]: open-addressed symbol table, pseudo-random probes;
+    - [env]: small hot environment/binding array;
+    - [prog]: the interpreted token stream (sequential);
+    - [result]: output stream.
+
+    As in the paper, the dominant access pattern is pointer-chasing over
+    a heap much larger than any sensible cache, which is what makes the
+    linked-list DMA modules profitable and the [Full] exploration space
+    large. *)
+
+val name : string
+
+val generate : scale:int -> seed:int -> Workload.t
+(** Run the interpreter until at least [scale] accesses are traced.
+    @raise Invalid_argument if [scale <= 0]. *)

@@ -1,0 +1,234 @@
+(* GSM 06.10-style full-rate encoder skeleton.  The arithmetic is the
+   real fixed-point shape of the standard (autocorrelation, Schur
+   recursion, LTP cross-correlation search, RPE decimation) over
+   synthetic speech; only the bit-exact details are simplified.  Every
+   array reference is traced. *)
+
+module Prng = Mx_util.Prng
+
+let name = "vocoder"
+
+let frame_len = 160
+let subframes = 4
+let sub_len = 40
+let lpc_order = 8
+let ltp_min = 40
+let ltp_max = 120
+let qlut_size = 1024
+
+type state = {
+  e : Workload.Emitter.e;
+  rng : Prng.t;
+  speech_in : Region.t;
+  frame_buf : Region.t;
+  lpc_coef : Region.t;
+  st_state : Region.t;
+  ltp_hist : Region.t;
+  qlut : Region.t;
+  params_out : Region.t;
+  frame : int array;
+  hist : int array;
+  coef : int array;
+  mutable in_pos : int;
+  mutable out_pos : int;
+  mutable phase : float;
+}
+
+let emit_out st =
+  Workload.Emitter.write st.e st.params_out
+    (st.out_pos mod (st.params_out.Region.size / 2));
+  st.out_pos <- st.out_pos + 1
+
+(* synthetic speech: two drifting sinusoids + noise, vaguely voiced *)
+let next_sample st =
+  st.phase <- st.phase +. 0.07 +. (0.01 *. Prng.float st.rng);
+  let v =
+    (3000.0 *. sin st.phase)
+    +. (1200.0 *. sin (2.3 *. st.phase))
+    +. Prng.gaussian st.rng ~mu:0.0 ~sigma:200.0
+  in
+  int_of_float v
+
+let load_frame st =
+  for n = 0 to frame_len - 1 do
+    Workload.Emitter.read st.e st.speech_in
+      (st.in_pos mod (st.speech_in.Region.size / 2));
+    st.in_pos <- st.in_pos + 1;
+    let s = next_sample st in
+    st.frame.(n) <- s;
+    Workload.Emitter.write st.e st.frame_buf n;
+    Workload.Emitter.ops st.e 2
+  done
+
+let autocorrelation st =
+  (* acf[k] = sum_n s[n] * s[n-k]; the frame buffer is re-read once per
+     lag, the dominant hot-array pattern of the encoder *)
+  let acf = Array.make (lpc_order + 1) 0 in
+  for k = 0 to lpc_order do
+    let acc = ref 0 in
+    for n = k to frame_len - 1 do
+      Workload.Emitter.read st.e st.frame_buf n;
+      Workload.Emitter.read st.e st.frame_buf (n - k);
+      acc := !acc + (st.frame.(n) / 64 * (st.frame.(n - k) / 64));
+      Workload.Emitter.ops st.e 2
+    done;
+    acf.(k) <- !acc
+  done;
+  acf
+
+let schur st acf =
+  (* reflection coefficients from the autocorrelation sequence *)
+  let p = Array.copy acf and k = Array.make lpc_order 0 in
+  for i = 0 to lpc_order - 1 do
+    if p.(0) <> 0 then k.(i) <- -(p.(i + 1) * 32768 / max 1 (abs p.(0)));
+    for j = 0 to lpc_order - i - 2 do
+      p.(j + 1) <- p.(j + 1) + (k.(i) * p.(j) / 32768);
+      Workload.Emitter.ops st.e 3
+    done;
+    st.coef.(i) <- k.(i);
+    Workload.Emitter.write st.e st.lpc_coef i
+  done
+
+let quantize st v =
+  (* table-driven quantiser: hashed probe into the LUT *)
+  let idx = abs (v * 2654435761) mod qlut_size in
+  Workload.Emitter.read st.e st.qlut idx;
+  Workload.Emitter.ops st.e 1;
+  idx land 63
+
+let short_term_filter st =
+  for n = 0 to frame_len - 1 do
+    Workload.Emitter.read st.e st.frame_buf n;
+    let acc = ref st.frame.(n) in
+    for i = 0 to lpc_order - 1 do
+      Workload.Emitter.read st.e st.lpc_coef i;
+      Workload.Emitter.read st.e st.st_state i;
+      acc := !acc + (st.coef.(i) / 256);
+      Workload.Emitter.ops st.e 2
+    done;
+    Workload.Emitter.write st.e st.st_state (n mod lpc_order);
+    st.frame.(n) <- !acc
+  done
+
+let ltp_search st sub =
+  (* exhaustive lag search over the reconstructed-history window *)
+  let base = sub * sub_len in
+  let best_lag = ref ltp_min and best_corr = ref min_int in
+  for lag = ltp_min to ltp_max do
+    let corr = ref 0 in
+    for n = 0 to sub_len - 1 do
+      Workload.Emitter.read st.e st.frame_buf (base + n);
+      Workload.Emitter.read st.e st.ltp_hist (ltp_max + n - lag);
+      corr :=
+        !corr + (st.frame.(base + n) / 64 * (st.hist.(ltp_max + n - lag) / 64));
+      Workload.Emitter.ops st.e 2
+    done;
+    if !corr > !best_corr then begin
+      best_corr := !corr;
+      best_lag := lag
+    end
+  done;
+  (* update history with this subframe *)
+  for n = 0 to sub_len - 1 do
+    let h = (ltp_max + n) mod (ltp_max + sub_len) in
+    Workload.Emitter.write st.e st.ltp_hist h;
+    st.hist.(h) <- st.frame.(base + n);
+    Workload.Emitter.ops st.e 1
+  done;
+  !best_lag
+
+let rpe_encode st sub lag =
+  let base = sub * sub_len in
+  (* 3:1 decimated grid selection: three candidate grids, pick max energy *)
+  let best_grid = ref 0 and best_energy = ref min_int in
+  for grid = 0 to 2 do
+    let energy = ref 0 in
+    let n = ref grid in
+    while !n < sub_len do
+      Workload.Emitter.read st.e st.frame_buf (base + !n);
+      energy := !energy + (st.frame.(base + !n) / 64 * (st.frame.(base + !n) / 64));
+      Workload.Emitter.ops st.e 2;
+      n := !n + 3
+    done;
+    if !energy > !best_energy then begin
+      best_energy := !energy;
+      best_grid := grid
+    end
+  done;
+  (* quantise the 13 selected pulses + side info *)
+  let n = ref !best_grid in
+  while !n < sub_len do
+    let q = quantize st st.frame.(base + !n) in
+    ignore q;
+    emit_out st;
+    n := !n + 3
+  done;
+  emit_out st;
+  (* lag + grid side info *)
+  ignore lag
+
+let encode_frame st =
+  load_frame st;
+  let acf = autocorrelation st in
+  schur st acf;
+  (* LAR parameters out *)
+  for i = 0 to lpc_order - 1 do
+    Workload.Emitter.read st.e st.lpc_coef i;
+    let q = quantize st st.coef.(i) in
+    ignore q;
+    emit_out st
+  done;
+  short_term_filter st;
+  for sub = 0 to subframes - 1 do
+    let lag = ltp_search st sub in
+    rpe_encode st sub lag
+  done
+
+let generate ~scale ~seed =
+  if scale <= 0 then invalid_arg "Kern_vocoder.generate: scale must be positive";
+  let lay = Layout.create () in
+  let speech_in =
+    Layout.alloc lay ~name:"speech_in" ~elems:(64 * 1024) ~elem_size:2
+      ~hint:Region.Stream
+  and frame_buf =
+    Layout.alloc lay ~name:"frame_buf" ~elems:frame_len ~elem_size:2
+      ~hint:Region.Indexed
+  and lpc_coef =
+    Layout.alloc lay ~name:"lpc_coef" ~elems:lpc_order ~elem_size:2
+      ~hint:Region.Indexed
+  and st_state =
+    Layout.alloc lay ~name:"st_state" ~elems:lpc_order ~elem_size:2
+      ~hint:Region.Indexed
+  and ltp_hist =
+    Layout.alloc lay ~name:"ltp_hist" ~elems:(ltp_max + sub_len) ~elem_size:2
+      ~hint:Region.Indexed
+  and qlut =
+    Layout.alloc lay ~name:"qlut" ~elems:qlut_size ~elem_size:2
+      ~hint:Region.Random_access
+  and params_out =
+    Layout.alloc lay ~name:"params_out" ~elems:(16 * 1024) ~elem_size:2
+      ~hint:Region.Stream
+  in
+  let st =
+    {
+      e = Workload.Emitter.create ();
+      rng = Prng.create ~seed;
+      speech_in;
+      frame_buf;
+      lpc_coef;
+      st_state;
+      ltp_hist;
+      qlut;
+      params_out;
+      frame = Array.make frame_len 0;
+      hist = Array.make (ltp_max + sub_len) 0;
+      coef = Array.make lpc_order 0;
+      in_pos = 0;
+      out_pos = 0;
+      phase = 0.0;
+    }
+  in
+  while Workload.Emitter.trace_length st.e < scale do
+    encode_frame st
+  done;
+  Workload.Emitter.finish st.e ~name ~regions:(Layout.regions lay)

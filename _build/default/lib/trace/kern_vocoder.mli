@@ -1,0 +1,22 @@
+(** The [vocoder] workload (stand-in for the paper's GSM voice encoder).
+
+    A frame-based GSM-06.10-style speech encoder skeleton: per 160-sample
+    frame it performs preprocessing, LPC autocorrelation + Schur
+    recursion, short-term filtering, and per-40-sample-subframe long-term
+    prediction search plus RPE grid selection and quantisation.
+
+    Region mix:
+    - [speech_in] / [params_out]: pure streams;
+    - [frame_buf], [lpc_coef], [st_state], [ltp_hist]: small hot arrays
+      with massive reuse (the Indexed pattern — SRAM-mappable);
+    - [qlut]: quantiser/codebook lookup table, pseudo-random reads.
+
+    Compared to compress/li the footprint is tiny, which is why the
+    paper's vocoder architectures cost ~3-6x less and the Full
+    exploration terminates quickly (Table 2). *)
+
+val name : string
+
+val generate : scale:int -> seed:int -> Workload.t
+(** Encode frames until at least [scale] accesses are traced.
+    @raise Invalid_argument if [scale <= 0]. *)

@@ -1,0 +1,37 @@
+type t = {
+  align : int;
+  mutable cursor : int;
+  mutable regs : Region.t list; (* reversed *)
+  mutable next_id : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ?(base = 0x1000_0000) ?(align = 64) () =
+  if not (is_pow2 align) then invalid_arg "Layout.create: align not a power of 2";
+  { align; cursor = base; regs = []; next_id = 0 }
+
+let round_up v a = (v + a - 1) land lnot (a - 1)
+
+let alloc t ~name ~elems ~elem_size ~hint =
+  if elems <= 0 || elem_size <= 0 then
+    invalid_arg "Layout.alloc: non-positive region dimensions";
+  let size = round_up (elems * elem_size) t.align in
+  let r =
+    {
+      Region.id = t.next_id;
+      name;
+      base = t.cursor;
+      size;
+      elem_size;
+      hint;
+    }
+  in
+  t.cursor <- t.cursor + size;
+  t.next_id <- t.next_id + 1;
+  t.regs <- r :: t.regs;
+  r
+
+let regions t = List.rev t.regs
+
+let find t ~addr = List.find_opt (fun r -> Region.contains r addr) (regions t)

@@ -1,0 +1,27 @@
+(** Address-space layout for workload regions.
+
+    A simple bump allocator over the (off-chip) physical address space.
+    Regions are aligned and padded so that distinct regions never share
+    a cache line, which keeps miss attribution per data structure exact
+    — the property APEX depends on. *)
+
+type t
+
+val create : ?base:int -> ?align:int -> unit -> t
+(** [create ~base ~align ()] starts allocating at [base] (default
+    [0x1000_0000], a typical off-chip DRAM window) with alignment
+    [align] bytes (default 64, a safe upper bound on the cache lines
+    explored).  @raise Invalid_argument if [align] is not a power of
+    two. *)
+
+val alloc :
+  t -> name:string -> elems:int -> elem_size:int -> hint:Region.pattern ->
+  Region.t
+(** Allocate a region of [elems * elem_size] bytes (rounded up to the
+    alignment), assigning the next region id (0, 1, 2, ...). *)
+
+val regions : t -> Region.t list
+(** All regions allocated so far, in id order. *)
+
+val find : t -> addr:int -> Region.t option
+(** Region containing [addr], if any. *)

@@ -1,0 +1,154 @@
+let block_bytes = 32
+
+type region_stats = {
+  region : Region.t;
+  reads : int;
+  writes : int;
+  bytes : int;
+  footprint : int;
+  seq_frac : float;
+  reuse : float;
+  detected : Region.pattern;
+}
+
+type t = {
+  workload : Workload.t;
+  per_region : region_stats array;
+  total_accesses : int;
+  total_bytes : int;
+  read_frac : float;
+}
+
+type acc = {
+  mutable a_reads : int;
+  mutable a_writes : int;
+  mutable a_bytes : int;
+  mutable a_seq : int;
+  mutable a_last : int; (* last address, -1 before the first access *)
+  blocks : (int, int) Hashtbl.t;
+}
+
+let classify (r : Region.t) acc =
+  let total = acc.a_reads + acc.a_writes in
+  if total = 0 then Region.Mixed
+  else begin
+    let footprint = Hashtbl.length acc.blocks * block_bytes in
+    let reuse = float_of_int total /. float_of_int (max 1 (Hashtbl.length acc.blocks)) in
+    let seq_frac = float_of_int acc.a_seq /. float_of_int total in
+    (* A pure stream re-touches each block at most block/elem times
+       (<= 32); a genuinely hot array shows reuse far beyond that. *)
+    if footprint <= 2048 && reuse >= 64.0 then Region.Indexed
+    else if seq_frac >= 0.6 then Region.Stream
+    else if seq_frac <= 0.25 then Region.Random_access
+    else Region.Mixed
+  end
+  |> fun detected ->
+  ignore r;
+  detected
+
+let analyze (w : Workload.t) =
+  let nregions = List.length w.Workload.regions in
+  let by_id = Array.make nregions None in
+  List.iter
+    (fun (r : Region.t) ->
+      if r.id < 0 || r.id >= nregions then
+        invalid_arg "Profile.analyze: non-contiguous region ids";
+      by_id.(r.id) <- Some r)
+    w.Workload.regions;
+  let accs =
+    Array.init nregions (fun _ ->
+        {
+          a_reads = 0;
+          a_writes = 0;
+          a_bytes = 0;
+          a_seq = 0;
+          a_last = -1;
+          blocks = Hashtbl.create 64;
+        })
+  in
+  let total_accesses = ref 0 and total_bytes = ref 0 and total_reads = ref 0 in
+  Trace.iter_packed w.Workload.trace ~f:(fun ~addr ~size ~kind ~region ->
+      if region >= nregions then
+        invalid_arg "Profile.analyze: trace references undeclared region";
+      let a = accs.(region) in
+      (match kind with
+      | Access.Read ->
+        a.a_reads <- a.a_reads + 1;
+        incr total_reads
+      | Access.Write -> a.a_writes <- a.a_writes + 1);
+      a.a_bytes <- a.a_bytes + size;
+      let elem =
+        match by_id.(region) with Some r -> r.Region.elem_size | None -> 4
+      in
+      if a.a_last >= 0 then begin
+        let stride = addr - a.a_last in
+        if stride >= 0 && stride <= 2 * elem then a.a_seq <- a.a_seq + 1
+      end;
+      a.a_last <- addr;
+      let blk = addr / block_bytes in
+      (match Hashtbl.find_opt a.blocks blk with
+      | Some n -> Hashtbl.replace a.blocks blk (n + 1)
+      | None -> Hashtbl.add a.blocks blk 1);
+      incr total_accesses;
+      total_bytes := !total_bytes + size);
+  let per_region =
+    Array.mapi
+      (fun i a ->
+        let region =
+          match by_id.(i) with
+          | Some r -> r
+          | None ->
+            invalid_arg "Profile.analyze: missing region declaration"
+        in
+        let total = a.a_reads + a.a_writes in
+        let nblocks = max 1 (Hashtbl.length a.blocks) in
+        {
+          region;
+          reads = a.a_reads;
+          writes = a.a_writes;
+          bytes = a.a_bytes;
+          footprint = Hashtbl.length a.blocks * block_bytes;
+          seq_frac =
+            (if total = 0 then 0.0
+             else float_of_int a.a_seq /. float_of_int total);
+          reuse = float_of_int total /. float_of_int nblocks;
+          detected = classify region a;
+        })
+      accs
+  in
+  {
+    workload = w;
+    per_region;
+    total_accesses = !total_accesses;
+    total_bytes = !total_bytes;
+    read_frac =
+      (if !total_accesses = 0 then 0.0
+       else float_of_int !total_reads /. float_of_int !total_accesses);
+  }
+
+let stats t (r : Region.t) =
+  if r.id < 0 || r.id >= Array.length t.per_region then
+    invalid_arg "Profile.stats: unknown region";
+  t.per_region.(r.id)
+
+let pattern t (r : Region.t) =
+  match r.hint with
+  | Region.Self_indirect -> Region.Self_indirect
+  | _ -> (stats t r).detected
+
+let bandwidth_share t r =
+  if t.total_bytes = 0 then 0.0
+  else float_of_int (stats t r).bytes /. float_of_int t.total_bytes
+
+let pp_summary fmt t =
+  Format.fprintf fmt "workload %s: %d accesses, %d bytes, %.1f%% reads@."
+    t.workload.Workload.name t.total_accesses t.total_bytes
+    (100.0 *. t.read_frac);
+  Array.iter
+    (fun s ->
+      Format.fprintf fmt
+        "  %-10s %8d R %8d W  %9dB traffic  %8dB fp  seq %.2f reuse %6.1f  -> %s@."
+        s.region.Region.name s.reads s.writes s.bytes s.footprint s.seq_frac
+        s.reuse
+        (Region.pattern_to_string s.detected))
+    t.per_region

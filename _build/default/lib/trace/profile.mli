@@ -1,0 +1,51 @@
+(** Trace profiling: per-region statistics and access-pattern
+    classification.
+
+    This is the first stage of both APEX and ConEx.  For each region it
+    measures traffic, footprint and stride behaviour, and classifies the
+    observed pattern.  [pattern] combines the trace evidence with the
+    kernel's semantic hint in the same way APEX combines profile data
+    with compiler knowledge: trace evidence decides between
+    stream/indexed/random, while self-indirection — invisible in a raw
+    address stream — comes from the hint. *)
+
+type region_stats = {
+  region : Region.t;
+  reads : int;
+  writes : int;
+  bytes : int;  (** CPU-side traffic to/from this region *)
+  footprint : int;  (** distinct 32-byte blocks touched, in bytes *)
+  seq_frac : float;
+      (** fraction of accesses at a short positive stride from the
+          previous access to the same region *)
+  reuse : float;
+      (** mean accesses per distinct block — temporal reuse measure *)
+  detected : Region.pattern;  (** classification from trace evidence only *)
+}
+
+type t = {
+  workload : Workload.t;
+  per_region : region_stats array;  (** indexed by region id *)
+  total_accesses : int;
+  total_bytes : int;
+  read_frac : float;
+}
+
+val analyze : Workload.t -> t
+(** Single pass over the trace.  @raise Invalid_argument if the trace
+    references a region id the workload does not declare. *)
+
+val pattern : t -> Region.t -> Region.pattern
+(** Effective pattern for APEX/ConEx decisions: the kernel hint when it
+    is [Self_indirect] (semantic knowledge), otherwise the detected
+    pattern. *)
+
+val stats : t -> Region.t -> region_stats
+(** @raise Invalid_argument for an unknown region. *)
+
+val bandwidth_share : t -> Region.t -> float
+(** Fraction of total CPU-side bytes going to this region — the raw
+    material for BRG arc weights. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Human-readable per-region table. *)

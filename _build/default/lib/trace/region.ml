@@ -1,0 +1,32 @@
+type pattern = Stream | Self_indirect | Indexed | Random_access | Mixed
+
+type t = {
+  id : int;
+  name : string;
+  base : int;
+  size : int;
+  elem_size : int;
+  hint : pattern;
+}
+
+let pattern_to_string = function
+  | Stream -> "stream"
+  | Self_indirect -> "self-indirect"
+  | Indexed -> "indexed"
+  | Random_access -> "random"
+  | Mixed -> "mixed"
+
+let pp fmt r =
+  Format.fprintf fmt "%s#%d[%#x..%#x, elem %dB, %s]" r.name r.id r.base
+    (r.base + r.size - 1)
+    r.elem_size
+    (pattern_to_string r.hint)
+
+let contains r addr = addr >= r.base && addr < r.base + r.size
+
+let elem_addr r i =
+  let a = r.base + (i * r.elem_size) in
+  if i < 0 || a + r.elem_size > r.base + r.size then
+    invalid_arg
+      (Printf.sprintf "Region.elem_addr: element %d outside %s" i r.name);
+  a

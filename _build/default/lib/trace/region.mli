@@ -1,0 +1,38 @@
+(** Data-structure regions.
+
+    APEX reasons about an application's {e data structures} (arrays,
+    hash tables, linked lists, streams) rather than raw addresses; each
+    kernel therefore declares the regions it touches, and every trace
+    access carries its region id.  The [hint] records the semantic
+    access pattern the kernel knows it performs on the region — this
+    stands in for the compiler-level access-pattern extraction of the
+    APEX paper (the trace-level {!Profile} classifier must agree with it
+    on well-formed kernels, which the test suite checks). *)
+
+type pattern =
+  | Stream  (** strictly or almost strictly sequential, little reuse *)
+  | Self_indirect
+      (** pointer-chasing where the loaded value determines the next
+          address: linked lists, LZW prefix chains *)
+  | Indexed  (** small hot array with heavy reuse (e.g. coefficients) *)
+  | Random_access  (** hash tables, codebooks: no exploitable order *)
+  | Mixed  (** none of the above dominates *)
+
+type t = {
+  id : int;
+  name : string;
+  base : int;  (** base byte address assigned by {!Layout} *)
+  size : int;  (** footprint in bytes *)
+  elem_size : int;  (** natural element width in bytes *)
+  hint : pattern;
+}
+
+val pattern_to_string : pattern -> string
+val pp : Format.formatter -> t -> unit
+
+val contains : t -> int -> bool
+(** [contains r addr] is true when [addr] falls inside [r]'s range. *)
+
+val elem_addr : t -> int -> int
+(** [elem_addr r i] is the byte address of element [i].
+    @raise Invalid_argument if the element lies outside the region. *)

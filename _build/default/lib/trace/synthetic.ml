@@ -1,0 +1,110 @@
+module Prng = Mx_util.Prng
+
+type spec = {
+  region_name : string;
+  elems : int;
+  elem_size : int;
+  hint : Region.pattern;
+  share : float;
+  write_frac : float;
+  skew : float;
+}
+
+let spec ?(elem_size = 4) ?(write_frac = 0.3) ?(skew = 0.8) ?(share = 1.0)
+    ~name ~elems hint =
+  { region_name = name; elems; elem_size; hint; share; write_frac; skew }
+
+(* Per-region generator state: a cursor for streams/pointer-chases and,
+   for Self_indirect, a random derangement to chase through. *)
+type rstate = {
+  sp : spec;
+  region : Region.t;
+  rng : Prng.t;
+  mutable cursor : int;
+  chase : int array; (* empty unless Self_indirect *)
+}
+
+let make_chase rng elems =
+  (* random cyclic permutation: a single cycle through all elements, so
+     the chase never gets stuck in a short loop *)
+  let order = Array.init elems (fun i -> i) in
+  Prng.shuffle rng order;
+  let next = Array.make elems 0 in
+  for i = 0 to elems - 1 do
+    next.(order.(i)) <- order.((i + 1) mod elems)
+  done;
+  next
+
+let next_index rs =
+  match rs.sp.hint with
+  | Region.Stream ->
+    let i = rs.cursor in
+    rs.cursor <- (rs.cursor + 1) mod rs.sp.elems;
+    i
+  | Region.Self_indirect ->
+    let i = rs.cursor in
+    rs.cursor <- rs.chase.(i);
+    i
+  | Region.Indexed -> Prng.zipf rs.rng ~n:rs.sp.elems ~s:(max 0.5 rs.sp.skew)
+  | Region.Random_access ->
+    if rs.sp.skew > 0.0 && rs.sp.skew < 0.5 then
+      Prng.int rs.rng ~bound:rs.sp.elems
+    else Prng.zipf rs.rng ~n:rs.sp.elems ~s:(rs.sp.skew *. 0.5)
+  | Region.Mixed ->
+    if Prng.bool rs.rng ~p:0.5 then begin
+      let i = rs.cursor in
+      rs.cursor <- (rs.cursor + 1) mod rs.sp.elems;
+      i
+    end
+    else Prng.int rs.rng ~bound:rs.sp.elems
+
+let generate ~name ~specs ~scale ~seed =
+  if specs = [] then invalid_arg "Synthetic.generate: empty spec list";
+  if scale <= 0 then invalid_arg "Synthetic.generate: scale must be positive";
+  List.iter
+    (fun s ->
+      if s.share <= 0.0 then
+        invalid_arg "Synthetic.generate: shares must be positive")
+    specs;
+  let master = Prng.create ~seed in
+  let lay = Layout.create () in
+  let states =
+    List.map
+      (fun sp ->
+        let region =
+          Layout.alloc lay ~name:sp.region_name ~elems:sp.elems
+            ~elem_size:sp.elem_size ~hint:sp.hint
+        in
+        let rng = Prng.split master in
+        let chase =
+          match sp.hint with
+          | Region.Self_indirect -> make_chase rng sp.elems
+          | _ -> [||]
+        in
+        { sp; region; rng; cursor = 0; chase })
+      specs
+  in
+  let states = Array.of_list states in
+  let cum =
+    let total = Array.fold_left (fun a rs -> a +. rs.sp.share) 0.0 states in
+    let acc = ref 0.0 in
+    Array.map
+      (fun rs ->
+        acc := !acc +. (rs.sp.share /. total);
+        !acc)
+      states
+  in
+  let pick_region u =
+    let rec go i = if i >= Array.length cum - 1 || u <= cum.(i) then i else go (i + 1) in
+    go 0
+  in
+  let e = Workload.Emitter.create () in
+  for _ = 1 to scale do
+    let rs = states.(pick_region (Prng.float master)) in
+    let idx = next_index rs in
+    if Prng.bool rs.rng ~p:rs.sp.write_frac then
+      Workload.Emitter.write e rs.region idx
+    else Workload.Emitter.read e rs.region idx;
+    Workload.Emitter.ops e (1 + Prng.int master ~bound:3)
+  done;
+  Workload.Emitter.finish e ~name ~regions:(Layout.regions lay)

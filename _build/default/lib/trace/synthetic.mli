@@ -1,0 +1,32 @@
+(** Configurable synthetic workload generator.
+
+    Used by the test suite (where ground truth must be known exactly),
+    by the ablation benches, and by the "bring your own workload"
+    example.  Each region spec describes one data structure and how the
+    synthetic program touches it; the generator interleaves accesses
+    according to the [share] weights. *)
+
+type spec = {
+  region_name : string;
+  elems : int;
+  elem_size : int;
+  hint : Region.pattern;
+      (** which reference pattern to synthesise over the region *)
+  share : float;  (** relative access weight, must be > 0 *)
+  write_frac : float;  (** fraction of accesses that are writes *)
+  skew : float;
+      (** zipf exponent for [Indexed]/[Random_access] regions; ignored
+          for streams and pointer chases *)
+}
+
+val spec :
+  ?elem_size:int -> ?write_frac:float -> ?skew:float -> ?share:float ->
+  name:string -> elems:int -> Region.pattern -> spec
+(** Convenience constructor with defaults [elem_size = 4],
+    [write_frac = 0.3], [skew = 0.8], [share = 1.0]. *)
+
+val generate :
+  name:string -> specs:spec list -> scale:int -> seed:int -> Workload.t
+(** [generate ~name ~specs ~scale ~seed] emits exactly [scale] accesses.
+    @raise Invalid_argument on an empty spec list, non-positive scale or
+    a non-positive share. *)

@@ -1,0 +1,41 @@
+(** A recorded memory-reference stream.
+
+    Stored as a compact struct-of-arrays (one [int] of address and one
+    [int] of packed metadata per access) so that multi-hundred-thousand
+    access traces iterate quickly during design-space exploration, where
+    the same trace is replayed through thousands of candidate
+    architectures. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+
+val add : t -> addr:int -> size:int -> kind:Access.kind -> region:int -> unit
+(** Append one access.  @raise Invalid_argument on an unsupported access
+    width (see {!Access.size_code}) or a negative region id. *)
+
+val get : t -> int -> Access.t
+(** Random access; @raise Invalid_argument out of bounds. *)
+
+val iter : t -> f:(Access.t -> unit) -> unit
+(** Record-building iteration — convenient, allocates one record per
+    access; use {!iter_packed} in hot paths. *)
+
+val iter_packed :
+  t -> f:(addr:int -> size:int -> kind:Access.kind -> region:int -> unit) -> unit
+(** Allocation-free iteration over the whole trace. *)
+
+val iteri_packed :
+  t ->
+  f:(int -> addr:int -> size:int -> kind:Access.kind -> region:int -> unit) ->
+  unit
+(** Like {!iter_packed} with the access index, used by the time-sampling
+    estimator to window the trace. *)
+
+val sub : t -> pos:int -> len:int -> t
+(** Copy of a window of the trace.  @raise Invalid_argument when the
+    window falls outside the trace. *)
+
+val total_bytes : t -> int
+(** Sum of access widths — the raw CPU-side traffic. *)

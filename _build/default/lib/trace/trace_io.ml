@@ -1,0 +1,113 @@
+exception Parse_error of { line : int; message : string }
+
+let fail ~line message = raise (Parse_error { line; message })
+
+let pattern_to_tag = function
+  | Region.Stream -> "stream"
+  | Region.Self_indirect -> "self-indirect"
+  | Region.Indexed -> "indexed"
+  | Region.Random_access -> "random"
+  | Region.Mixed -> "mixed"
+
+let pattern_of_tag ~line = function
+  | "stream" -> Region.Stream
+  | "self-indirect" -> Region.Self_indirect
+  | "indexed" -> Region.Indexed
+  | "random" -> Region.Random_access
+  | "mixed" -> Region.Mixed
+  | tag -> fail ~line (Printf.sprintf "unknown pattern %S" tag)
+
+let to_string (w : Workload.t) =
+  let buf = Buffer.create (Trace.length w.Workload.trace * 16) in
+  Buffer.add_string buf "# memorex-trace v1\n";
+  Buffer.add_string buf (Printf.sprintf "workload %s\n" w.Workload.name);
+  Buffer.add_string buf (Printf.sprintf "cpu_ops %d\n" w.Workload.cpu_ops);
+  List.iter
+    (fun (r : Region.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "region %d %s 0x%x %d %d %s\n" r.Region.id
+           r.Region.name r.Region.base r.Region.size r.Region.elem_size
+           (pattern_to_tag r.Region.hint)))
+    w.Workload.regions;
+  Buffer.add_string buf
+    (Printf.sprintf "trace %d\n" (Trace.length w.Workload.trace));
+  Trace.iter_packed w.Workload.trace ~f:(fun ~addr ~size ~kind ~region ->
+      Buffer.add_string buf
+        (Printf.sprintf "%c 0x%x %d %d\n"
+           (match kind with Access.Read -> 'R' | Access.Write -> 'W')
+           addr size region));
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let name = ref None and cpu_ops = ref 0 in
+  let regions = ref [] in
+  let trace = Trace.create () in
+  let expected = ref (-1) in
+  let lineno = ref 0 in
+  let parse_int ~line v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> fail ~line (Printf.sprintf "expected an integer, got %S" v)
+  in
+  List.iter
+    (fun raw ->
+      incr lineno;
+      let line = !lineno in
+      let l = String.trim raw in
+      if l = "" || l.[0] = '#' then ()
+      else
+        match String.split_on_char ' ' l with
+        | [ "workload"; n ] -> name := Some n
+        | [ "cpu_ops"; n ] -> cpu_ops := parse_int ~line n
+        | [ "region"; id; rname; base; size; elem; hint ] ->
+          regions :=
+            {
+              Region.id = parse_int ~line id;
+              name = rname;
+              base = parse_int ~line base;
+              size = parse_int ~line size;
+              elem_size = parse_int ~line elem;
+              hint = pattern_of_tag ~line hint;
+            }
+            :: !regions
+        | [ "trace"; n ] -> expected := parse_int ~line n
+        | [ kind; addr; size; region ] when kind = "R" || kind = "W" ->
+          Trace.add trace ~addr:(parse_int ~line addr)
+            ~size:(parse_int ~line size)
+            ~kind:(if kind = "R" then Access.Read else Access.Write)
+            ~region:(parse_int ~line region)
+        | _ -> fail ~line (Printf.sprintf "unrecognised line %S" l))
+    lines;
+  let name =
+    match !name with
+    | Some n -> n
+    | None -> fail ~line:0 "missing 'workload' header"
+  in
+  if !expected >= 0 && Trace.length trace <> !expected then
+    fail ~line:0
+      (Printf.sprintf "trace length mismatch: header says %d, found %d"
+         !expected (Trace.length trace));
+  let regions =
+    List.sort (fun (a : Region.t) b -> compare a.Region.id b.Region.id) !regions
+  in
+  List.iteri
+    (fun i (r : Region.t) ->
+      if r.Region.id <> i then
+        fail ~line:0 (Printf.sprintf "region ids not contiguous at %d" i))
+    regions;
+  { Workload.name; regions; trace; cpu_ops = !cpu_ops }
+
+let save w ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string w))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

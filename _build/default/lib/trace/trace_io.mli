@@ -1,0 +1,32 @@
+(** Workload (trace + region table) persistence.
+
+    A simple line-oriented text format so users can bring traces from
+    external tools (or ship a captured trace with a bug report) and so
+    long traces need not be regenerated for every experiment:
+
+    {v
+    # memorex-trace v1
+    workload <name>
+    cpu_ops <count>
+    region <id> <name> <base-hex> <size> <elem_size> <pattern>
+    ...
+    trace <count>
+    R <addr-hex> <size> <region-id>
+    W <addr-hex> <size> <region-id>
+    ...
+    v} *)
+
+exception Parse_error of { line : int; message : string }
+
+val save : Workload.t -> path:string -> unit
+(** Write a workload to [path] (overwrites). *)
+
+val load : path:string -> Workload.t
+(** @raise Parse_error on malformed input; @raise Sys_error on I/O
+    failures. *)
+
+val to_string : Workload.t -> string
+(** In-memory serialisation (used by [save] and the tests). *)
+
+val of_string : string -> Workload.t
+(** @raise Parse_error as for [load]. *)

@@ -1,0 +1,54 @@
+(** A workload: named regions plus the memory trace an instrumented
+    kernel produced over them.
+
+    This is the unit of input to the whole exploration flow — the
+    stand-in for "the application in C" of the paper. *)
+
+type t = {
+  name : string;
+  regions : Region.t list;
+  trace : Trace.t;
+  cpu_ops : int;
+      (** number of non-memory CPU operations the kernel performed,
+          used to interleave compute cycles between accesses in the
+          cycle simulator *)
+}
+
+val access_count : t -> int
+
+val concat : name:string -> t list -> t
+(** Multi-phase workload: run the given workloads' traces back to back.
+    All inputs must share the same region table (same ids, names and
+    extents) — i.e. be instances of the same kernel.
+    @raise Invalid_argument on an empty list or mismatched regions. *)
+
+val region_by_name : t -> string -> Region.t
+(** @raise Not_found when the workload has no such region. *)
+
+(** Instrumentation helper for kernels: counts CPU work and appends
+    element-level reads/writes to the trace. *)
+module Emitter : sig
+  type e
+
+  val create : unit -> e
+
+  val read : e -> Region.t -> int -> unit
+  (** [read e r i] records a read of element [i] of region [r] at the
+      region's natural element width. *)
+
+  val write : e -> Region.t -> int -> unit
+
+  val read_bytes : e -> Region.t -> byte_off:int -> size:int -> unit
+  (** Sub-element access at an explicit byte offset. *)
+
+  val write_bytes : e -> Region.t -> byte_off:int -> size:int -> unit
+
+  val ops : e -> int -> unit
+  (** [ops e n] records [n] units of pure CPU work (ALU/branch). *)
+
+  val trace_length : e -> int
+  (** Number of accesses emitted so far — lets kernels run "until the
+      trace is big enough". *)
+
+  val finish : e -> name:string -> regions:Region.t list -> t
+end

@@ -1,0 +1,120 @@
+type 'a axis = 'a -> float
+
+let dominates ~axes a b =
+  let no_worse = List.for_all (fun f -> f a <= f b) axes in
+  let strictly = List.exists (fun f -> f a < f b) axes in
+  no_worse && strictly
+
+let front ~axes designs =
+  let arr = Array.of_list designs in
+  let n = Array.length arr in
+  let kept = ref [] in
+  for i = n - 1 downto 0 do
+    let d = arr.(i) in
+    let dominated = ref false in
+    for j = 0 to n - 1 do
+      if (not !dominated) && j <> i && dominates ~axes arr.(j) d then
+        dominated := true
+    done;
+    if not !dominated then kept := d :: !kept
+  done;
+  !kept
+
+let sort_by f l = List.stable_sort (fun a b -> Float.compare (f a) (f b)) l
+
+let front2 ~x ~y designs =
+  (* Sweep by increasing x, then increasing y; a point survives iff its y
+     is strictly below every y seen so far (equal-x points: only the best
+     y survives unless tied). *)
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        match Float.compare (x a) (x b) with
+        | 0 -> Float.compare (y a) (y b)
+        | c -> c)
+      designs
+  in
+  let rec sweep best_y acc = function
+    | [] -> List.rev acc
+    | d :: rest ->
+      if y d < best_y then sweep (y d) (d :: acc) rest
+      else if y d = best_y && best_y < infinity then
+        (* keep ties on y only when x also ties with the last kept point *)
+        (match acc with
+        | last :: _ when x last = x d -> sweep best_y (d :: acc) rest
+        | _ -> sweep best_y acc rest)
+      else sweep best_y acc rest
+  in
+  sweep infinity [] sorted
+
+module Coverage = struct
+  type report = {
+    total : int;
+    found : int;
+    coverage_pct : float;
+    avg_dist_pct : float array;
+  }
+
+  let eval ~axes ~equal ~reference ~explored =
+    let naxes = List.length axes in
+    let total = List.length reference in
+    let missed =
+      List.filter (fun r -> not (List.exists (equal r) explored)) reference
+    in
+    let found = total - List.length missed in
+    let avg_dist = Array.make naxes 0.0 in
+    (if missed <> [] then begin
+       if explored = [] then
+         invalid_arg "Pareto.Coverage.eval: empty explored set with misses";
+       (* Normalise each axis by the reference front's span so the
+          nearest-neighbour search is scale-free. *)
+       let spans =
+         List.map
+           (fun f ->
+             let vs = List.map f reference in
+             let lo = List.fold_left Float.min infinity vs in
+             let hi = List.fold_left Float.max neg_infinity vs in
+             let s = hi -. lo in
+             if s <= 0.0 then 1.0 else s)
+           axes
+       in
+       let dist2 a b =
+         List.fold_left2
+           (fun acc f s ->
+             let d = (f a -. f b) /. s in
+             acc +. (d *. d))
+           0.0 axes spans
+       in
+       List.iter
+         (fun r ->
+           let nearest =
+             List.fold_left
+               (fun best e ->
+                 match best with
+                 | None -> Some e
+                 | Some b -> if dist2 r e < dist2 r b then Some e else best)
+               None explored
+           in
+           match nearest with
+           | None -> assert false
+           | Some e ->
+             List.iteri
+               (fun i f ->
+                 let rv = f r in
+                 let denom = if Float.abs rv > 1e-12 then Float.abs rv else 1.0 in
+                 avg_dist.(i) <-
+                   avg_dist.(i) +. (100.0 *. Float.abs (f e -. rv) /. denom))
+               axes)
+         missed;
+       let m = float_of_int (List.length missed) in
+       Array.iteri (fun i v -> avg_dist.(i) <- v /. m) avg_dist
+     end);
+    {
+      total;
+      found;
+      coverage_pct =
+        (if total = 0 then 100.0
+         else 100.0 *. float_of_int found /. float_of_int total);
+      avg_dist_pct = avg_dist;
+    }
+end

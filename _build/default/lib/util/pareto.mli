@@ -1,0 +1,53 @@
+(** Pareto-front machinery for multi-objective design-space exploration.
+
+    All objectives are minimised: costs, latencies and energies are all
+    "lower is better".  A design [a] {e dominates} [b] when [a] is no
+    worse than [b] on every axis and strictly better on at least one.
+    A design is on the pareto front of a set when no member dominates
+    it — the paper's definition (Section 6, footnote 3). *)
+
+type 'a axis = 'a -> float
+(** An objective projection; lower values are better. *)
+
+val dominates : axes:'a axis list -> 'a -> 'a -> bool
+(** [dominates ~axes a b] is true iff [a] dominates [b]. *)
+
+val front : axes:'a axis list -> 'a list -> 'a list
+(** [front ~axes designs] returns the non-dominated subset, preserving
+    first-occurrence order.  Duplicate objective vectors are all kept
+    (they dominate nothing and are dominated by nothing). *)
+
+val front2 : x:'a axis -> y:'a axis -> 'a list -> 'a list
+(** Two-objective front, returned sorted by increasing [x].  O(n log n)
+    sweep rather than the generic O(n^2) filter. *)
+
+val sort_by : 'a axis -> 'a list -> 'a list
+(** Stable ascending sort by one axis. *)
+
+(** Coverage of a reference front by an explored point set — the metric
+    of the paper's Table 2. *)
+module Coverage : sig
+  type report = {
+    total : int;          (** size of the reference pareto front *)
+    found : int;          (** reference points matched exactly *)
+    coverage_pct : float; (** [100 * found / total]; 100.0 when [total = 0] *)
+    avg_dist_pct : float array;
+        (** per-axis average percentile deviation between each {e missed}
+            reference point and the explored point nearest to it
+            (normalised Euclidean nearest); length = number of axes;
+            all zeros when nothing is missed *)
+  }
+
+  val eval :
+    axes:'a axis list ->
+    equal:('a -> 'a -> bool) ->
+    reference:'a list ->
+    explored:'a list ->
+    report
+  (** [eval ~axes ~equal ~reference ~explored] measures how well
+      [explored] covers the [reference] front.  [equal] decides whether
+      an explored design {e is} a given reference design (typically
+      structural equality on the architecture, not on metrics).
+      @raise Invalid_argument if [explored] is empty while some
+      reference point is missed. *)
+end

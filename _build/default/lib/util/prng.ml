@@ -1,0 +1,99 @@
+(* SplitMix64.  Reference: Steele, Lea, Flood, OOPSLA 2014.  The zipf
+   sampler caches one CDF per (n, s) pair per generator, which is enough
+   for the workload kernels (each region uses a single distribution). *)
+
+type zipf_cache = { zn : int; zs : float; cdf : float array }
+
+type t = { mutable state : int64; mutable zcache : zipf_cache option }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed; zcache = None }
+
+let copy g = { state = g.state; zcache = g.zcache }
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let s = next_int64 g in
+  { state = mix64 s; zcache = None }
+
+let int g ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* keep 62 bits so the value fits OCaml's 63-bit signed int *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+  r mod bound
+
+let int_in g ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_in: hi < lo";
+  lo + int g ~bound:(hi - lo + 1)
+
+let float g =
+  (* 53 high-quality bits -> [0, 1) *)
+  let bits = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let bool g ~p =
+  let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+  float g < p
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g ~bound:(Array.length a))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let geometric g ~p =
+  let p = if p < 1e-9 then 1e-9 else if p > 1.0 -. 1e-9 then 1.0 -. 1e-9 else p in
+  let u = float g in
+  int_of_float (Float.floor (log1p (-.u) /. log1p (-.p)))
+
+let zipf_cdf n s =
+  let w = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for r = 0 to n - 1 do
+    let x = 1.0 /. Float.pow (float_of_int (r + 1)) s in
+    total := !total +. x;
+    w.(r) <- !total
+  done;
+  let t = !total in
+  Array.map (fun x -> x /. t) w
+
+let zipf g ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  let cdf =
+    match g.zcache with
+    | Some c when c.zn = n && c.zs = s -> c.cdf
+    | _ ->
+      let cdf = zipf_cdf n s in
+      g.zcache <- Some { zn = n; zs = s; cdf };
+      cdf
+  in
+  let u = float g in
+  (* binary search for the first index with cdf.(i) >= u *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (n - 1)
+
+let gaussian g ~mu ~sigma =
+  let u1 = Float.max 1e-300 (float g) in
+  let u2 = float g in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mu +. (sigma *. z)

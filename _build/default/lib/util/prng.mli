@@ -1,0 +1,60 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in MemorEx flows through this module so that every
+    experiment is reproducible from an explicit integer seed.  The core
+    generator is SplitMix64 (Steele, Lea, Flood: "Fast splittable
+    pseudorandom number generators", OOPSLA 2014), which is small, fast,
+    and passes BigCrush for the purposes of workload synthesis. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator.  Two generators created with
+    the same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with [g]'s current state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of [g]'s subsequent output.  Used to give
+    each workload region its own stream without coupling. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> bound:int -> int
+(** [int g ~bound] is uniform in [\[0, bound)].  @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** [int_in g ~lo ~hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val bool : t -> p:float -> bool
+(** [bool g ~p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array.  @raise Invalid_argument on
+    an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val geometric : t -> p:float -> int
+(** [geometric g ~p] is the number of failures before the first success
+    of a Bernoulli([p]) process; mean [(1-p)/p].  [p] is clamped away
+    from 0 and 1. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf g ~n ~s] samples ranks [0 .. n-1] with probability proportional
+    to [1/(rank+1)^s].  Used for skewed (hot/cold) data-structure access
+    synthesis.  Sampling is by inversion over a lazily cached CDF, so
+    repeated draws with the same [(n, s)] are O(log n). *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box–Muller normal sample. *)

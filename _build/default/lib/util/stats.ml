@@ -1,0 +1,47 @@
+module Running = struct
+  type t = {
+    mutable n : int;
+    mutable mu : float;
+    mutable m2 : float;
+    mutable lo : float;
+    mutable hi : float;
+  }
+
+  let create () = { n = 0; mu = 0.0; m2 = 0.0; lo = infinity; hi = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let d = x -. t.mu in
+    t.mu <- t.mu +. (d /. float_of_int t.n);
+    t.m2 <- t.m2 +. (d *. (x -. t.mu));
+    if x < t.lo then t.lo <- x;
+    if x > t.hi then t.hi <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0.0 else t.mu
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
+  let stddev t = sqrt (variance t)
+  let min t = t.lo
+  let max t = t.hi
+end
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile xs ~p =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+  a.(idx)
+
+let geometric_mean = function
+  | [] -> 0.0
+  | xs ->
+    let s = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (s /. float_of_int (List.length xs))
+
+let ratio_pct a b = if b = 0.0 then 0.0 else 100.0 *. (b -. a) /. b

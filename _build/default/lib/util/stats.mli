@@ -1,0 +1,37 @@
+(** Small statistics helpers shared by the profiler, the estimators and
+    the reporting code. *)
+
+(** Streaming mean/variance accumulator (Welford's algorithm). *)
+module Running : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0.0 when empty. *)
+
+  val variance : t -> float
+  (** Population variance; 0.0 for fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [infinity] when empty. *)
+
+  val max : t -> float
+  (** [neg_infinity] when empty. *)
+end
+
+val mean : float list -> float
+(** 0.0 on the empty list. *)
+
+val percentile : float list -> p:float -> float
+(** [percentile xs ~p] with [p] in [\[0,100\]], nearest-rank method.
+    @raise Invalid_argument on the empty list. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values; 0.0 on the empty list. *)
+
+val ratio_pct : float -> float -> float
+(** [ratio_pct a b] is [100 * (b - a) / b]: the percentage improvement of
+    [a] over [b] when lower is better.  0.0 when [b = 0]. *)

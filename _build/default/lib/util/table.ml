@@ -1,0 +1,100 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : string list;
+  arity : int;
+  mutable rows : row list; (* reversed *)
+  mutable aligns : align list option;
+}
+
+let create ~headers =
+  { headers; arity = List.length headers; rows = []; aligns = None }
+
+let set_align t aligns =
+  if List.length aligns <> t.arity then
+    invalid_arg "Table.set_align: arity mismatch";
+  t.aligns <- Some aligns
+
+let add_row t cells =
+  if List.length cells <> t.arity then invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = '%' || c = 'e')
+       s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (function
+      | Rule -> ()
+      | Cells cs ->
+        List.iteri
+          (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+          cs)
+    rows;
+  let aligns =
+    match t.aligns with
+    | Some a -> Array.of_list a
+    | None ->
+      (* Column is right-aligned when every data cell looks numeric. *)
+      let a = Array.make t.arity Right in
+      Array.iteri
+        (fun i _ ->
+          let all_num =
+            List.for_all
+              (function
+                | Rule -> true
+                | Cells cs -> looks_numeric (List.nth cs i))
+              rows
+            && rows <> []
+          in
+          a.(i) <- (if all_num then Right else Left))
+        a;
+      a
+  in
+  let buf = Buffer.create 1024 in
+  let pad s w al =
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match al with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells al_override =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        let al = match al_override with Some a -> a | None -> aligns.(i) in
+        Buffer.add_string buf (" " ^ pad c widths.(i) al ^ " ");
+        Buffer.add_char buf '|')
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  line t.headers (Some Left);
+  rule ();
+  List.iter (function Rule -> rule () | Cells cs -> line cs None) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  flush stdout

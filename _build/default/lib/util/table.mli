@@ -1,0 +1,28 @@
+(** Plain-text table rendering for the CLI, the examples and the bench
+    harness (which reprints the paper's tables). *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** A table with one header row; every subsequent row must have the same
+    arity.  Numeric-looking cells default to right alignment unless
+    overridden with [set_align]. *)
+
+val set_align : t -> align list -> unit
+(** Explicit per-column alignment; @raise Invalid_argument on arity
+    mismatch. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on arity mismatch. *)
+
+val add_rule : t -> unit
+(** Insert a horizontal rule (used to separate benchmark groups, as the
+    paper's Table 1 separates compress / li / vocoder). *)
+
+val render : t -> string
+(** Render with box-drawing in ASCII ([+-|]). *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline flush. *)

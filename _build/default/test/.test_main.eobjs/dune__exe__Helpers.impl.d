@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array List Mx_connect Mx_mem Mx_trace

@@ -1,0 +1,1 @@
+test/test_apex.ml: Alcotest Float Helpers List Mx_apex Mx_mem Mx_trace

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Gen Helpers List Mx_mem Mx_util QCheck QCheck_alcotest

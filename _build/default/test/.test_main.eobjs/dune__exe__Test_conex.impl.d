@@ -1,0 +1,1 @@
+test/test_conex.ml: Alcotest Conex Helpers Lazy List Mx_apex Mx_connect Mx_mem Mx_sim Mx_util String

@@ -1,0 +1,1 @@
+test/test_connect.ml: Alcotest Helpers List Mx_connect Mx_mem Printf

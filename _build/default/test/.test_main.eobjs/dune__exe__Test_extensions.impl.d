@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Helpers List Mx_connect Mx_mem Mx_sim Mx_trace

@@ -1,0 +1,1 @@
+test/test_extensions2.ml: Alcotest Conex Filename Fun Helpers List Mx_connect Mx_mem Mx_sim Mx_trace Printf String Sys

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Float Helpers List Mx_connect Mx_mem Mx_sim Mx_trace Printf QCheck QCheck_alcotest

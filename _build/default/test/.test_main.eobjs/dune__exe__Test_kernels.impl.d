@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Hashtbl Helpers List Mx_trace

@@ -1,0 +1,1 @@
+test/test_l2.ml: Alcotest Array Helpers List Mx_apex Mx_connect Mx_mem Mx_sim Mx_trace

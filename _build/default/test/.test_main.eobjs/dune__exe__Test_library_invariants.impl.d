@@ -1,0 +1,1 @@
+test/test_library_invariants.ml: Alcotest Conex Helpers List Mx_connect Mx_mem Mx_trace

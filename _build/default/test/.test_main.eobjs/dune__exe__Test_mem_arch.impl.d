@@ -1,0 +1,1 @@
+test/test_mem_arch.ml: Alcotest Array Helpers List Mx_mem Mx_trace String

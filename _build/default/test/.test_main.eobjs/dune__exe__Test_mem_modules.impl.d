@@ -1,0 +1,1 @@
+test/test_mem_modules.ml: Alcotest Helpers Mx_mem Mx_util

@@ -1,0 +1,1 @@
+test/test_pareto.ml: Alcotest Array Float Gen Helpers List Mx_util QCheck QCheck_alcotest

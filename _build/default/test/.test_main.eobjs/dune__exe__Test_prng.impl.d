@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Helpers Mx_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Helpers List Mx_trace

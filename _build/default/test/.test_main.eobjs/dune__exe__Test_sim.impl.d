@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Helpers List Mx_connect Mx_sim Mx_trace Unix

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float Gen Helpers List Mx_util QCheck QCheck_alcotest

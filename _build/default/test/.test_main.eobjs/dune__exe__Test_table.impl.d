@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Helpers List Mx_util String

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Gen Helpers List Mx_trace Printf QCheck QCheck_alcotest

@@ -1,0 +1,111 @@
+module Explore = Mx_apex.Explore
+module Mem_arch = Mx_mem.Mem_arch
+module Region = Mx_trace.Region
+
+let profile () = Mx_trace.Profile.analyze (Helpers.mixed_workload ())
+
+let test_candidates_nonempty () =
+  let cands = Explore.candidates Explore.reduced_config (profile ()) in
+  Helpers.check_true "candidates exist" (List.length cands > 4)
+
+let test_candidates_respect_patterns () =
+  let p = profile () in
+  let cands = Explore.candidates Explore.default_config p in
+  (* whenever an architecture has a stream buffer, the stream regions are
+     bound to it *)
+  let w = p.Mx_trace.Profile.workload in
+  let stream = Mx_trace.Workload.region_by_name w "stream" in
+  List.iter
+    (fun (a : Mem_arch.t) ->
+      if a.Mem_arch.sbuf <> None then
+        Helpers.check_true "stream region on sbuf"
+          (Mem_arch.binding_of a ~region:stream.Region.id = Mem_arch.To_sbuf))
+    cands
+
+let test_no_empty_architecture () =
+  let cands = Explore.candidates Explore.default_config (profile ()) in
+  List.iter
+    (fun (a : Mem_arch.t) ->
+      Helpers.check_true "at least one module"
+        (a.Mem_arch.cache <> None || a.Mem_arch.sbuf <> None
+        || a.Mem_arch.lldma <> None || a.Mem_arch.sram <> None))
+    cands
+
+let test_evaluate_counts () =
+  let p = profile () in
+  let arch = List.hd (Explore.candidates Explore.reduced_config p) in
+  let c = Explore.evaluate p arch in
+  Helpers.check_true "miss ratio in range"
+    (c.Explore.miss_ratio >= 0.0 && c.Explore.miss_ratio <= 1.0);
+  Helpers.check_int "cost matches architecture" (Mem_arch.cost_gates arch)
+    c.Explore.cost_gates;
+  Helpers.check_int "profile covers the trace"
+    p.Mx_trace.Profile.total_accesses c.Explore.profile.Mx_mem.Mem_sim.accesses
+
+let test_pareto_is_front () =
+  let p = profile () in
+  let all = Explore.explore ~config:Explore.reduced_config p in
+  let front = Explore.pareto all in
+  Helpers.check_true "front nonempty" (front <> []);
+  (* no member dominated by any candidate *)
+  List.iter
+    (fun (m : Explore.candidate) ->
+      Helpers.check_true "front member undominated"
+        (not
+           (List.exists
+              (fun (c : Explore.candidate) ->
+                c.Explore.cost_gates <= m.Explore.cost_gates
+                && c.Explore.miss_ratio <= m.Explore.miss_ratio
+                && (c.Explore.cost_gates < m.Explore.cost_gates
+                   || c.Explore.miss_ratio < m.Explore.miss_ratio))
+              all)))
+    front
+
+let test_select_cap_and_order () =
+  let p = profile () in
+  let sel = Explore.select ~config:Explore.reduced_config p in
+  Helpers.check_true "at most max_selected + baseline"
+    (List.length sel <= Explore.reduced_config.Explore.max_selected + 1);
+  Helpers.check_true "a traditional cache-only baseline is included"
+    (List.exists
+       (fun (c : Explore.candidate) ->
+         c.Explore.arch.Mem_arch.cache <> None
+         && c.Explore.arch.Mem_arch.sbuf = None
+         && c.Explore.arch.Mem_arch.lldma = None
+         && c.Explore.arch.Mem_arch.sram = None)
+       sel);
+  let costs = List.map (fun c -> c.Explore.cost_gates) sel in
+  Helpers.check_true "sorted by cost" (costs = List.sort compare costs)
+
+let test_select_deterministic () =
+  let p = profile () in
+  let l1 = Explore.select ~config:Explore.reduced_config p
+  and l2 = Explore.select ~config:Explore.reduced_config p in
+  Helpers.check_true "same labels"
+    (List.map (fun c -> c.Explore.arch.Mem_arch.label) l1
+    = List.map (fun c -> c.Explore.arch.Mem_arch.label) l2)
+
+let test_select_excludes_degenerate () =
+  let p = profile () in
+  let sel = Explore.select ~config:Explore.default_config p in
+  let best =
+    List.fold_left (fun acc c -> Float.min acc c.Explore.miss_ratio) infinity sel
+  in
+  List.iter
+    (fun c ->
+      Helpers.check_true "within the promising band"
+        (c.Explore.miss_ratio <= Float.max (2.0 *. best) (best +. 0.02)))
+    sel
+
+let suite =
+  ( "apex",
+    [
+      Alcotest.test_case "candidates nonempty" `Quick test_candidates_nonempty;
+      Alcotest.test_case "patterns respected" `Quick test_candidates_respect_patterns;
+      Alcotest.test_case "no empty arch" `Quick test_no_empty_architecture;
+      Alcotest.test_case "evaluate counts" `Quick test_evaluate_counts;
+      Alcotest.test_case "pareto is a front" `Slow test_pareto_is_front;
+      Alcotest.test_case "select cap/order" `Slow test_select_cap_and_order;
+      Alcotest.test_case "select deterministic" `Slow test_select_deterministic;
+      Alcotest.test_case "select band" `Slow test_select_excludes_degenerate;
+    ] )

@@ -1,0 +1,162 @@
+module Cache = Mx_mem.Cache
+module Params = Mx_mem.Params
+
+let mk ?(size = 1024) ?(line = 16) ?(assoc = 2) () =
+  Cache.create { Params.c_size = size; c_line = line; c_assoc = assoc; c_latency = 1 }
+
+let test_cold_miss_then_hit () =
+  let c = mk () in
+  let r1 = Cache.access c ~addr:0x1000 ~write:false in
+  Helpers.check_true "cold miss" (not r1.Cache.hit);
+  Helpers.check_true "fill on miss" r1.Cache.fill;
+  let r2 = Cache.access c ~addr:0x1004 ~write:false in
+  Helpers.check_true "same line hits" r2.Cache.hit
+
+let test_line_granularity () =
+  let c = mk ~line:16 () in
+  ignore (Cache.access c ~addr:0x1000 ~write:false);
+  Helpers.check_true "last byte of line hits"
+    (Cache.access c ~addr:0x100F ~write:false).Cache.hit;
+  Helpers.check_true "next line misses"
+    (not (Cache.access c ~addr:0x1010 ~write:false).Cache.hit)
+
+let test_lru_eviction () =
+  (* 2-way set: fill both ways, touch the first, insert a third: the
+     second (least recently used) must be evicted *)
+  let c = mk ~size:1024 ~line:16 ~assoc:2 () in
+  let sets = 1024 / 16 / 2 in
+  let stride = sets * 16 in
+  let a0 = 0 and a1 = stride and a2 = 2 * stride in
+  ignore (Cache.access c ~addr:a0 ~write:false);
+  ignore (Cache.access c ~addr:a1 ~write:false);
+  ignore (Cache.access c ~addr:a0 ~write:false); (* refresh a0 *)
+  ignore (Cache.access c ~addr:a2 ~write:false); (* evicts a1 *)
+  Helpers.check_true "a0 survives" (Cache.access c ~addr:a0 ~write:false).Cache.hit;
+  Helpers.check_true "a1 evicted"
+    (not (Cache.access c ~addr:a1 ~write:false).Cache.hit)
+
+let test_writeback_only_when_dirty () =
+  let c = mk ~size:256 ~line:16 ~assoc:1 () in
+  let sets = 256 / 16 in
+  let stride = sets * 16 in
+  (* clean line evicted: no writeback *)
+  ignore (Cache.access c ~addr:0 ~write:false);
+  let r = Cache.access c ~addr:stride ~write:false in
+  Helpers.check_true "clean eviction, no writeback" (not r.Cache.writeback);
+  (* dirty line evicted: writeback *)
+  ignore (Cache.access c ~addr:0 ~write:true);
+  let r = Cache.access c ~addr:stride ~write:false in
+  Helpers.check_true "dirty eviction writes back" r.Cache.writeback
+
+let test_write_allocate () =
+  let c = mk () in
+  let r = Cache.access c ~addr:0x42 ~write:true in
+  Helpers.check_true "write miss fills" r.Cache.fill;
+  Helpers.check_true "write then read hits"
+    (Cache.access c ~addr:0x42 ~write:false).Cache.hit
+
+let test_counters () =
+  let c = mk () in
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:4096 ~write:false);
+  Helpers.check_int "accesses" 3 (Cache.accesses c);
+  Helpers.check_int "misses" 2 (Cache.misses c);
+  Alcotest.(check (float 1e-9)) "miss ratio" (2.0 /. 3.0) (Cache.miss_ratio c)
+
+let test_reset () =
+  let c = mk () in
+  ignore (Cache.access c ~addr:0 ~write:true);
+  Cache.reset c;
+  Helpers.check_int "counters cleared" 0 (Cache.accesses c);
+  Helpers.check_true "state cleared"
+    (not (Cache.access c ~addr:0 ~write:false).Cache.hit)
+
+let test_bigger_cache_fewer_misses () =
+  let small = mk ~size:512 () and big = mk ~size:8192 () in
+  let g = Mx_util.Prng.create ~seed:99 in
+  for _ = 1 to 5000 do
+    let addr = Mx_util.Prng.zipf g ~n:512 ~s:1.0 * 16 in
+    ignore (Cache.access small ~addr ~write:false);
+    ignore (Cache.access big ~addr ~write:false)
+  done;
+  Helpers.check_true "monotone in size"
+    (Cache.misses big <= Cache.misses small)
+
+let test_higher_assoc_no_conflicts () =
+  (* k+1 conflicting lines thrash a k-way set but fit in 2k ways *)
+  let a2 = mk ~size:1024 ~line:16 ~assoc:2 ()
+  and a4 = mk ~size:1024 ~line:16 ~assoc:4 () in
+  let sets2 = 1024 / 16 / 2 in
+  let addrs = List.init 3 (fun i -> i * sets2 * 16) in
+  for _ = 1 to 50 do
+    List.iter
+      (fun addr ->
+        ignore (Cache.access a2 ~addr ~write:false);
+        ignore (Cache.access a4 ~addr ~write:false))
+      addrs
+  done;
+  Helpers.check_true "4-way absorbs the conflict set"
+    (Cache.misses a4 < Cache.misses a2)
+
+let test_geometry_validation () =
+  List.iter
+    (fun (size, line, assoc) ->
+      Helpers.check_true "bad geometry rejected"
+        (try
+           ignore
+             (Cache.create
+                { Params.c_size = size; c_line = line; c_assoc = assoc;
+                  c_latency = 1 });
+           false
+         with Invalid_argument _ -> true))
+    [ (1000, 16, 2); (1024, 24, 2); (1024, 16, 0); (16, 32, 1) ]
+
+let test_full_assoc_working_set () =
+  (* a working set exactly the cache size never misses after warmup *)
+  let c = mk ~size:256 ~line:16 ~assoc:16 () in
+  let addrs = List.init 16 (fun i -> i * 16) in
+  List.iter (fun addr -> ignore (Cache.access c ~addr ~write:false)) addrs;
+  let before = Cache.misses c in
+  for _ = 1 to 10 do
+    List.iter (fun addr -> ignore (Cache.access c ~addr ~write:false)) addrs
+  done;
+  Helpers.check_int "no misses after warmup" before (Cache.misses c)
+
+let qcheck_hit_ratio_bounds =
+  QCheck.Test.make ~name:"cache miss count never exceeds access count"
+    QCheck.(list_of_size (Gen.int_range 1 300) (int_range 0 100_000))
+    (fun addrs ->
+      let c = mk () in
+      List.iter (fun addr -> ignore (Cache.access c ~addr ~write:false)) addrs;
+      Cache.misses c <= Cache.accesses c
+      && Cache.accesses c = List.length addrs)
+
+let qcheck_repeat_access_hits =
+  QCheck.Test.make ~name:"immediately repeated access always hits"
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_range 0 1_000_000))
+    (fun addrs ->
+      let c = mk () in
+      List.for_all
+        (fun addr ->
+          ignore (Cache.access c ~addr ~write:false);
+          (Cache.access c ~addr ~write:false).Cache.hit)
+        addrs)
+
+let suite =
+  ( "cache",
+    [
+      Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
+      Alcotest.test_case "line granularity" `Quick test_line_granularity;
+      Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+      Alcotest.test_case "writeback when dirty" `Quick test_writeback_only_when_dirty;
+      Alcotest.test_case "write allocate" `Quick test_write_allocate;
+      Alcotest.test_case "counters" `Quick test_counters;
+      Alcotest.test_case "reset" `Quick test_reset;
+      Alcotest.test_case "size monotone" `Quick test_bigger_cache_fewer_misses;
+      Alcotest.test_case "associativity" `Quick test_higher_assoc_no_conflicts;
+      Alcotest.test_case "geometry validation" `Quick test_geometry_validation;
+      Alcotest.test_case "resident set" `Quick test_full_assoc_working_set;
+      QCheck_alcotest.to_alcotest qcheck_hit_ratio_bounds;
+      QCheck_alcotest.to_alcotest qcheck_repeat_access_hits;
+    ] )

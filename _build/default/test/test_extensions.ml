@@ -1,0 +1,181 @@
+(* Tests for the extension features: clustering merge-order policies,
+   the multi-layer AHB component, and failure injection on degenerate
+   inputs. *)
+
+module Channel = Mx_connect.Channel
+module Component = Mx_connect.Component
+module Cluster = Mx_connect.Cluster
+module Assign = Mx_connect.Assign
+module Brg = Mx_connect.Brg
+module Conn_cost = Mx_connect.Conn_cost
+
+let ch ?(bw = 1.0) src dst =
+  { Channel.src; dst; bandwidth = bw; txn_bytes = 4.0 }
+
+let channels =
+  [
+    ch ~bw:0.1 Channel.Cpu Channel.Sram;
+    ch ~bw:0.2 Channel.Cpu Channel.Sbuf;
+    ch ~bw:4.0 Channel.Cpu Channel.Cache;
+    ch ~bw:1.0 Channel.Cache Channel.Dram;
+    ch ~bw:0.5 Channel.Sbuf Channel.Dram;
+  ]
+
+(* -- merge orders -------------------------------------------------------- *)
+
+let test_orders_same_level_count () =
+  let n_levels order = List.length (Cluster.levels_ordered order channels) in
+  let reference = n_levels Cluster.Lowest_bandwidth_first in
+  List.iter
+    (fun order ->
+      Helpers.check_int "merge count independent of order" reference
+        (n_levels order))
+    [ Cluster.Highest_bandwidth_first; Cluster.Random_order 1;
+      Cluster.Random_order 99 ]
+
+let test_highest_first_picks_big_pair () =
+  match
+    Cluster.merge_step_ordered Cluster.Highest_bandwidth_first
+      (Cluster.initial channels)
+  with
+  | None -> Alcotest.fail "expected a merge"
+  | Some next ->
+    let merged = List.find (fun c -> List.length c.Cluster.channels = 2) next in
+    (* the two highest on-chip bandwidths are 4.0 and 0.2 *)
+    Alcotest.(check (float 1e-9)) "merged the top pair" 4.2
+      merged.Cluster.bandwidth
+
+let test_random_order_deterministic () =
+  let run seed =
+    Cluster.levels_ordered (Cluster.Random_order seed) channels
+    |> List.map (List.map Cluster.describe)
+  in
+  Helpers.check_true "same seed, same clustering" (run 5 = run 5)
+
+let test_orders_preserve_boundary_discipline () =
+  List.iter
+    (fun order ->
+      List.iter
+        (fun level ->
+          List.iter
+            (fun cl ->
+              let off = List.filter Channel.crosses_chip cl.Cluster.channels in
+              Helpers.check_true "homogeneous clusters"
+                (off = [] || List.length off = List.length cl.Cluster.channels))
+            level)
+        (Cluster.levels_ordered order channels))
+    [ Cluster.Highest_bandwidth_first; Cluster.Random_order 3 ]
+
+let test_enumerate_levels_order_param () =
+  let count order =
+    List.length
+      (Assign.enumerate_levels ~order ~onchip:Component.onchip_library
+         ~offchip:Component.offchip_library channels)
+  in
+  Helpers.check_true "all orders produce designs"
+    (count Cluster.Lowest_bandwidth_first > 0
+    && count Cluster.Highest_bandwidth_first > 0
+    && count (Cluster.Random_order 1) > 0)
+
+(* -- multi-layer AHB ------------------------------------------------------ *)
+
+let test_mlahb_in_library () =
+  let c = Component.by_name "mlahb32" in
+  Helpers.check_true "kind" (c.Component.kind = Component.Amba_ml_ahb);
+  Helpers.check_true "on-chip" (not c.Component.offchip)
+
+let test_mlahb_no_arbitration_penalty () =
+  let ml = Component.by_name "mlahb32" in
+  Helpers.check_int "contended = uncontended"
+    (Component.txn_latency ml ~bytes:4 ~contended:false)
+    (Component.txn_latency ml ~bytes:4 ~contended:true)
+
+let test_mlahb_costs_more_than_ahb () =
+  let ml = Component.by_name "mlahb32" and ahb = Component.by_name "ahb32" in
+  Helpers.check_true "parallel layers cost extra area"
+    (Conn_cost.cost_gates ml ~channels:4 > Conn_cost.cost_gates ahb ~channels:4)
+
+let test_mlahb_rt_consistency () =
+  let ml = Component.by_name "mlahb32" in
+  List.iter
+    (fun bytes ->
+      Helpers.check_int "RT latency agrees"
+        (Component.txn_latency ml ~bytes ~contended:false)
+        (Mx_connect.Reservation_table.latency_of
+           (Mx_connect.Reservation_table.template_for ml ~bytes)))
+    [ 4; 32 ]
+
+(* -- failure injection ----------------------------------------------------- *)
+
+let test_empty_trace_profile () =
+  let w =
+    {
+      Mx_trace.Workload.name = "empty";
+      regions = [];
+      trace = Mx_trace.Trace.create ();
+      cpu_ops = 0;
+    }
+  in
+  let p = Mx_trace.Profile.analyze w in
+  Helpers.check_int "no accesses" 0 p.Mx_trace.Profile.total_accesses
+
+let test_brg_empty_profile_rejected () =
+  let w = Helpers.mixed_workload ~scale:100 () in
+  let arch = Helpers.cache_only_arch w in
+  let empty_stats =
+    Mx_mem.Mem_sim.run
+      (Mx_mem.Mem_sim.create arch ~regions:w.Mx_trace.Workload.regions)
+      (Mx_trace.Trace.create ())
+  in
+  Helpers.check_true "empty BRG rejected"
+    (try
+       ignore (Brg.build arch empty_stats);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cycle_sim_empty_trace () =
+  let w = Helpers.mixed_workload ~scale:100 () in
+  let arch = Helpers.cache_only_arch w in
+  let brg = Brg.build arch (Helpers.profile_of arch w) in
+  let empty =
+    { w with Mx_trace.Workload.trace = Mx_trace.Trace.create (); cpu_ops = 0 }
+  in
+  let r =
+    Mx_sim.Cycle_sim.run ~workload:empty ~arch ~conn:(Helpers.naive_conn brg) ()
+  in
+  Helpers.check_int "zero accesses" 0 r.Mx_sim.Sim_result.accesses;
+  Helpers.check_float "zero latency" 0.0 r.Mx_sim.Sim_result.avg_mem_latency
+
+let test_single_access_trace () =
+  let w = Helpers.mixed_workload ~scale:1 () in
+  let arch = Helpers.cache_only_arch w in
+  let brg = Brg.build arch (Helpers.profile_of arch w) in
+  let r =
+    Mx_sim.Cycle_sim.run ~workload:w ~arch ~conn:(Helpers.naive_conn brg) ()
+  in
+  Helpers.check_int "one access" 1 r.Mx_sim.Sim_result.accesses;
+  Helpers.check_true "positive latency" (r.Mx_sim.Sim_result.avg_mem_latency > 0.0)
+
+let test_cluster_levels_empty_input () =
+  Helpers.check_int "one empty level" 1 (List.length (Cluster.levels []));
+  Helpers.check_int "empty level is empty" 0
+    (List.length (List.hd (Cluster.levels [])))
+
+let suite =
+  ( "extensions",
+    [
+      Alcotest.test_case "orders: level counts" `Quick test_orders_same_level_count;
+      Alcotest.test_case "highest-first pair" `Quick test_highest_first_picks_big_pair;
+      Alcotest.test_case "random order deterministic" `Quick test_random_order_deterministic;
+      Alcotest.test_case "orders keep boundary" `Quick test_orders_preserve_boundary_discipline;
+      Alcotest.test_case "enumerate ~order" `Quick test_enumerate_levels_order_param;
+      Alcotest.test_case "mlahb in library" `Quick test_mlahb_in_library;
+      Alcotest.test_case "mlahb no arbitration" `Quick test_mlahb_no_arbitration_penalty;
+      Alcotest.test_case "mlahb cost premium" `Quick test_mlahb_costs_more_than_ahb;
+      Alcotest.test_case "mlahb RT consistency" `Quick test_mlahb_rt_consistency;
+      Alcotest.test_case "empty trace profile" `Quick test_empty_trace_profile;
+      Alcotest.test_case "empty BRG rejected" `Quick test_brg_empty_profile_rejected;
+      Alcotest.test_case "cycle sim empty trace" `Quick test_cycle_sim_empty_trace;
+      Alcotest.test_case "single access" `Quick test_single_access_trace;
+      Alcotest.test_case "empty clustering" `Quick test_cluster_levels_empty_input;
+    ] )

@@ -1,0 +1,190 @@
+module Workload = Mx_trace.Workload
+module Trace = Mx_trace.Trace
+module Region = Mx_trace.Region
+module Access = Mx_trace.Access
+
+let kernels =
+  [
+    ("compress", Mx_trace.Kern_compress.generate);
+    ("li", Mx_trace.Kern_li.generate);
+    ("vocoder", Mx_trace.Kern_vocoder.generate);
+  ]
+
+let for_each_kernel f () =
+  List.iter (fun (name, gen) -> f name (gen ~scale:15000 ~seed:42)) kernels
+
+let test_scale_reached =
+  for_each_kernel (fun name w ->
+      Helpers.check_true (name ^ " reaches scale")
+        (Trace.length w.Workload.trace >= 15000))
+
+let test_deterministic () =
+  List.iter
+    (fun (name, gen) ->
+      let a = gen ~scale:5000 ~seed:7 and b = gen ~scale:5000 ~seed:7 in
+      Helpers.check_int (name ^ " deterministic length")
+        (Trace.length a.Workload.trace)
+        (Trace.length b.Workload.trace);
+      let n = Trace.length a.Workload.trace in
+      let same = ref true in
+      for i = 0 to n - 1 do
+        if Trace.get a.Workload.trace i <> Trace.get b.Workload.trace i then
+          same := false
+      done;
+      Helpers.check_true (name ^ " deterministic content") !same)
+    kernels
+
+let test_seed_changes_trace () =
+  List.iter
+    (fun (name, gen) ->
+      let a = gen ~scale:5000 ~seed:7 and b = gen ~scale:5000 ~seed:8 in
+      let differs =
+        Trace.length a.Workload.trace <> Trace.length b.Workload.trace
+        ||
+        let n = Trace.length a.Workload.trace in
+        let d = ref false in
+        for i = 0 to n - 1 do
+          if Trace.get a.Workload.trace i <> Trace.get b.Workload.trace i then
+            d := true
+        done;
+        !d
+      in
+      Helpers.check_true (name ^ " seed-sensitive") differs)
+    kernels
+
+let test_accesses_inside_regions =
+  for_each_kernel (fun name w ->
+      let ok = ref true in
+      Trace.iter w.Workload.trace ~f:(fun a ->
+          let r = List.nth w.Workload.regions a.Access.region in
+          if not (Region.contains r a.Access.addr) then ok := false);
+      Helpers.check_true (name ^ " addresses inside declared regions") !ok)
+
+let test_region_ids_contiguous =
+  for_each_kernel (fun name w ->
+      List.iteri
+        (fun i (r : Region.t) ->
+          Helpers.check_int (name ^ " region id order") i r.Region.id)
+        w.Workload.regions)
+
+let test_cpu_ops_positive =
+  for_each_kernel (fun name w ->
+      Helpers.check_true (name ^ " has compute work") (w.Workload.cpu_ops > 0))
+
+let test_compress_has_expected_regions () =
+  let w = Mx_trace.Kern_compress.generate ~scale:5000 ~seed:1 in
+  List.iter
+    (fun n -> ignore (Workload.region_by_name w n))
+    [ "input"; "codes"; "decout"; "htab"; "codetab"; "chains"; "stack" ]
+
+let test_compress_chain_region_self_indirect () =
+  let w = Mx_trace.Kern_compress.generate ~scale:5000 ~seed:1 in
+  let r = Workload.region_by_name w "chains" in
+  Helpers.check_true "chains hinted self-indirect"
+    (r.Region.hint = Region.Self_indirect)
+
+let test_li_has_expected_regions () =
+  let w = Mx_trace.Kern_li.generate ~scale:5000 ~seed:1 in
+  List.iter
+    (fun n -> ignore (Workload.region_by_name w n))
+    [ "cells"; "symtab"; "env"; "prog"; "result" ]
+
+let test_li_cells_dominate () =
+  let w = Mx_trace.Kern_li.generate ~scale:20000 ~seed:1 in
+  let p = Mx_trace.Profile.analyze w in
+  let cells = Mx_trace.Profile.stats p (Workload.region_by_name w "cells") in
+  let total = p.Mx_trace.Profile.total_accesses in
+  Helpers.check_true "cons heap is the dominant region"
+    (cells.Mx_trace.Profile.reads + cells.Mx_trace.Profile.writes > total / 4)
+
+let test_vocoder_has_expected_regions () =
+  let w = Mx_trace.Kern_vocoder.generate ~scale:5000 ~seed:1 in
+  List.iter
+    (fun n -> ignore (Workload.region_by_name w n))
+    [ "speech_in"; "frame_buf"; "lpc_coef"; "st_state"; "ltp_hist"; "qlut";
+      "params_out" ]
+
+let test_vocoder_mostly_reads () =
+  let w = Mx_trace.Kern_vocoder.generate ~scale:20000 ~seed:1 in
+  let p = Mx_trace.Profile.analyze w in
+  Helpers.check_true "DSP kernel is read-dominated"
+    (p.Mx_trace.Profile.read_frac > 0.8)
+
+let test_vocoder_small_footprint () =
+  let w = Mx_trace.Kern_vocoder.generate ~scale:20000 ~seed:1 in
+  let p = Mx_trace.Profile.analyze w in
+  let hot = Mx_trace.Profile.stats p (Workload.region_by_name w "frame_buf") in
+  Helpers.check_true "frame buffer is small and hot"
+    (hot.Mx_trace.Profile.footprint <= 512 && hot.Mx_trace.Profile.reuse > 100.0)
+
+let test_scale_rejects_nonpositive () =
+  List.iter
+    (fun (_, gen) ->
+      Helpers.check_true "rejects scale 0"
+        (try
+           ignore (gen ~scale:0 ~seed:1);
+           false
+         with Invalid_argument _ -> true))
+    kernels
+
+(* -- synthetic ------------------------------------------------------- *)
+
+let test_synthetic_exact_scale () =
+  let w = Helpers.mixed_workload ~scale:5000 () in
+  Helpers.check_int "exact scale" 5000 (Trace.length w.Workload.trace)
+
+let test_synthetic_stream_is_sequential () =
+  let w = Helpers.stream_workload () in
+  let p = Mx_trace.Profile.analyze w in
+  let s = Mx_trace.Profile.stats p (Workload.region_by_name w "in") in
+  Helpers.check_true "stream detected"
+    (s.Mx_trace.Profile.detected = Region.Stream);
+  Helpers.check_true "high seq fraction" (s.Mx_trace.Profile.seq_frac > 0.9)
+
+let test_synthetic_write_frac_respected () =
+  let w = Helpers.stream_workload () in
+  let p = Mx_trace.Profile.analyze w in
+  let r = Mx_trace.Profile.stats p (Workload.region_by_name w "out") in
+  Helpers.check_int "write-only stream has no reads" 0 r.Mx_trace.Profile.reads
+
+let test_synthetic_rejects_empty_specs () =
+  Helpers.check_true "empty specs rejected"
+    (try
+       ignore (Mx_trace.Synthetic.generate ~name:"x" ~specs:[] ~scale:10 ~seed:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_synthetic_chase_is_permutation () =
+  (* every element of a self-indirect region is eventually visited *)
+  let w =
+    Mx_trace.Synthetic.generate ~name:"chase" ~scale:4000 ~seed:5
+      ~specs:[ Mx_trace.Synthetic.spec ~name:"l" ~elems:64 ~write_frac:0.0
+                 Region.Self_indirect ]
+  in
+  let seen = Hashtbl.create 64 in
+  Trace.iter w.Workload.trace ~f:(fun a -> Hashtbl.replace seen a.Access.addr ());
+  Helpers.check_int "all 64 elements visited" 64 (Hashtbl.length seen)
+
+let suite =
+  ( "kernels",
+    [
+      Alcotest.test_case "scale reached" `Slow test_scale_reached;
+      Alcotest.test_case "deterministic" `Quick test_deterministic;
+      Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_trace;
+      Alcotest.test_case "accesses in regions" `Slow test_accesses_inside_regions;
+      Alcotest.test_case "region ids contiguous" `Quick test_region_ids_contiguous;
+      Alcotest.test_case "cpu ops positive" `Quick test_cpu_ops_positive;
+      Alcotest.test_case "compress regions" `Quick test_compress_has_expected_regions;
+      Alcotest.test_case "compress chains hint" `Quick test_compress_chain_region_self_indirect;
+      Alcotest.test_case "li regions" `Quick test_li_has_expected_regions;
+      Alcotest.test_case "li cells dominate" `Quick test_li_cells_dominate;
+      Alcotest.test_case "vocoder regions" `Quick test_vocoder_has_expected_regions;
+      Alcotest.test_case "vocoder read-heavy" `Quick test_vocoder_mostly_reads;
+      Alcotest.test_case "vocoder hot frame buffer" `Quick test_vocoder_small_footprint;
+      Alcotest.test_case "scale validation" `Quick test_scale_rejects_nonpositive;
+      Alcotest.test_case "synthetic exact scale" `Quick test_synthetic_exact_scale;
+      Alcotest.test_case "synthetic stream" `Quick test_synthetic_stream_is_sequential;
+      Alcotest.test_case "synthetic write frac" `Quick test_synthetic_write_frac_respected;
+      Alcotest.test_case "synthetic empty specs" `Quick test_synthetic_rejects_empty_specs;
+      Alcotest.test_case "synthetic chase permutation" `Quick test_synthetic_chase_is_permutation;
+    ] )

@@ -1,0 +1,110 @@
+(* Catalogue-wide invariants: every entry of the memory and connectivity
+   IP libraries must be well-formed and consistently priced, and the
+   whole flow must hold together on every built-in kernel. *)
+
+module Component = Mx_connect.Component
+module Conn_cost = Mx_connect.Conn_cost
+module Params = Mx_mem.Params
+
+let test_memory_catalogue_valid () =
+  List.iter Params.validate_cache Mx_mem.Module_lib.caches;
+  List.iter Params.validate_cache Mx_mem.Module_lib.l2_caches;
+  List.iter Params.validate_victim Mx_mem.Module_lib.victims;
+  List.iter Params.validate_write_buffer Mx_mem.Module_lib.write_buffers;
+  Params.validate_dram Mx_mem.Module_lib.default_dram
+
+let test_memory_catalogue_costs_positive () =
+  List.iter
+    (fun c -> Helpers.check_true "cache cost > 0" (Mx_mem.Cost_model.cache c > 0))
+    (Mx_mem.Module_lib.caches @ Mx_mem.Module_lib.l2_caches);
+  List.iter
+    (fun s ->
+      Helpers.check_true "sbuf cost > 0" (Mx_mem.Cost_model.stream_buffer s > 0))
+    Mx_mem.Module_lib.stream_buffers;
+  List.iter
+    (fun l -> Helpers.check_true "lldma cost > 0" (Mx_mem.Cost_model.lldma l > 0))
+    Mx_mem.Module_lib.lldmas
+
+let test_cache_catalogue_cost_monotone () =
+  (* within the catalogue, strictly larger caches cost more *)
+  List.iter
+    (fun (a : Params.cache) ->
+      List.iter
+        (fun (b : Params.cache) ->
+          if
+            a.Params.c_size < b.Params.c_size
+            && a.Params.c_line = b.Params.c_line
+            && a.Params.c_assoc = b.Params.c_assoc
+          then
+            Helpers.check_true "bigger cache, bigger cost"
+              (Mx_mem.Cost_model.cache a < Mx_mem.Cost_model.cache b))
+        Mx_mem.Module_lib.caches)
+    Mx_mem.Module_lib.caches
+
+let test_component_names_unique () =
+  let names = List.map (fun (c : Component.t) -> c.Component.name) Component.library in
+  Helpers.check_int "unique component names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_component_costs_and_energy () =
+  List.iter
+    (fun (c : Component.t) ->
+      Helpers.check_true (c.Component.name ^ " cost > 0")
+        (Conn_cost.cost_gates c ~channels:1 > 0);
+      Helpers.check_true (c.Component.name ^ " energy > 0")
+        (Conn_cost.energy_per_byte c > 0.0);
+      Helpers.check_true (c.Component.name ^ " timing sane")
+        (c.Component.cycles_per_beat >= 1 && c.Component.base_latency >= 0))
+    Component.library
+
+let test_every_component_latency_consistent () =
+  (* latency is non-decreasing in transfer size for every component *)
+  List.iter
+    (fun (c : Component.t) ->
+      let l s = Component.txn_latency c ~bytes:s ~contended:false in
+      Helpers.check_true (c.Component.name ^ " latency monotone in size")
+        (l 4 <= l 8 && l 8 <= l 32 && l 32 <= l 64))
+    Component.library
+
+let test_offchip_slower_per_byte () =
+  (* an off-chip bus never moves a 32-byte burst faster than the same
+     width on-chip AMBA bus *)
+  let off = Component.by_name "off32" and ahb = Component.by_name "ahb32" in
+  Helpers.check_true "pads are slower"
+    (Component.txn_latency off ~bytes:32 ~contended:false
+    >= Component.txn_latency ahb ~bytes:32 ~contended:false)
+
+(* whole-flow sanity on every built-in kernel at a small scale *)
+let all_kernels =
+  [
+    ("compress", Mx_trace.Kern_compress.generate);
+    ("li", Mx_trace.Kern_li.generate);
+    ("vocoder", Mx_trace.Kern_vocoder.generate);
+    ("jpeg", Mx_trace.Kern_jpeg.generate);
+    ("fft", Mx_trace.Kern_fft.generate);
+    ("dijkstra", Mx_trace.Kern_graph.generate);
+  ]
+
+let test_conex_runs_on_every_kernel () =
+  List.iter
+    (fun (name, gen) ->
+      let w = gen ~scale:5000 ~seed:11 in
+      let r = Conex.Explore.run ~config:Conex.Explore.reduced_config w in
+      Helpers.check_true (name ^ ": pareto front found")
+        (r.Conex.Explore.pareto_cost_perf <> []);
+      Helpers.check_true (name ^ ": estimates dominate simulations")
+        (r.Conex.Explore.n_estimates > r.Conex.Explore.n_simulations))
+    all_kernels
+
+let suite =
+  ( "library-invariants",
+    [
+      Alcotest.test_case "memory catalogue valid" `Quick test_memory_catalogue_valid;
+      Alcotest.test_case "memory costs positive" `Quick test_memory_catalogue_costs_positive;
+      Alcotest.test_case "cache cost monotone" `Quick test_cache_catalogue_cost_monotone;
+      Alcotest.test_case "component names unique" `Quick test_component_names_unique;
+      Alcotest.test_case "component costs/energy" `Quick test_component_costs_and_energy;
+      Alcotest.test_case "latency monotone" `Quick test_every_component_latency_consistent;
+      Alcotest.test_case "off-chip slower" `Quick test_offchip_slower_per_byte;
+      Alcotest.test_case "conex on every kernel" `Slow test_conex_runs_on_every_kernel;
+    ] )

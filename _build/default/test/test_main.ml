@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "memorex"
+    [
+      Test_prng.suite;
+      Test_pareto.suite;
+      Test_stats.suite;
+      Test_table.suite;
+      Test_trace.suite;
+      Test_kernels.suite;
+      Test_profile.suite;
+      Test_cache.suite;
+      Test_mem_modules.suite;
+      Test_mem_arch.suite;
+      Test_connect.suite;
+      Test_sim.suite;
+      Test_apex.suite;
+      Test_conex.suite;
+      Test_extensions.suite;
+      Test_extensions2.suite;
+      Test_l2.suite;
+      Test_fuzz.suite;
+      Test_library_invariants.suite;
+    ]

@@ -1,0 +1,161 @@
+module Mem_arch = Mx_mem.Mem_arch
+module Mem_sim = Mx_mem.Mem_sim
+module Params = Mx_mem.Params
+module Region = Mx_trace.Region
+module Workload = Mx_trace.Workload
+
+let test_make_validates_bindings () =
+  Helpers.check_true "sbuf binding without sbuf rejected"
+    (try
+       ignore
+         (Mem_arch.make ~label:"bad" ~cache:Helpers.small_cache
+            ~bindings:[| Mem_arch.To_sbuf |] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_to_cache_allowed_without_cache () =
+  let a = Mem_arch.make ~label:"dram-only" ~bindings:[| Mem_arch.To_cache |] () in
+  Helpers.check_true "no modules" (not (Mem_arch.has_module a Mem_arch.To_cache))
+
+let test_cost_is_sum_of_modules () =
+  let w = Helpers.mixed_workload ~scale:100 () in
+  let rich = Helpers.rich_arch w in
+  let expected =
+    Mx_mem.Cost_model.cache Helpers.small_cache
+    + Mx_mem.Cost_model.stream_buffer Helpers.default_sbuf
+    + Mx_mem.Cost_model.lldma Helpers.default_lldma
+    + (match rich.Mem_arch.sram with
+      | Some s -> Mx_mem.Cost_model.sram s
+      | None -> 0)
+  in
+  Helpers.check_int "cost = sum" expected (Mem_arch.cost_gates rich)
+
+let test_binding_of_bounds () =
+  let a = Mem_arch.make ~label:"x" ~bindings:[| Mem_arch.To_cache |] () in
+  Helpers.check_true "oob binding rejected"
+    (try
+       ignore (Mem_arch.binding_of a ~region:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_describe_mentions_modules () =
+  let w = Helpers.mixed_workload ~scale:100 () in
+  let rich = Helpers.rich_arch w in
+  let d = Mem_arch.describe rich in
+  List.iter
+    (fun needle ->
+      let found =
+        let nl = String.length needle and hl = String.length d in
+        let rec go i = i + nl <= hl && (String.sub d i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Helpers.check_true ("describe mentions " ^ needle) found)
+    [ "cache"; "sbuf"; "lldma"; "sram" ]
+
+(* -- mem_sim ----------------------------------------------------------- *)
+
+let test_sram_always_hits () =
+  let w = Helpers.mixed_workload () in
+  let m = Mem_sim.create (Helpers.rich_arch w) ~regions:w.Workload.regions in
+  let hot = Workload.region_by_name w "hot" in
+  let o =
+    Mem_sim.access m ~now:0 ~addr:hot.Region.base ~size:4 ~write:false
+      ~region:hot.Region.id
+  in
+  Helpers.check_true "sram hit" (o.Mem_sim.serving = Mem_sim.By_sram && o.Mem_sim.hit);
+  Helpers.check_int "no dram traffic" 0 o.Mem_sim.dram_bytes
+
+let test_direct_dram_when_no_cache () =
+  let w = Helpers.mixed_workload () in
+  let arch =
+    Mem_arch.make ~label:"none"
+      ~bindings:(Array.make (List.length w.Workload.regions) Mem_arch.To_cache)
+      ()
+  in
+  let m = Mem_sim.create arch ~regions:w.Workload.regions in
+  let r = List.hd w.Workload.regions in
+  let o =
+    Mem_sim.access m ~now:0 ~addr:r.Region.base ~size:4 ~write:false
+      ~region:r.Region.id
+  in
+  Helpers.check_true "direct service" (o.Mem_sim.serving = Mem_sim.By_dram_direct);
+  Helpers.check_true "critical" o.Mem_sim.dram_critical;
+  Helpers.check_int "size bytes moved" 4 o.Mem_sim.dram_bytes
+
+let test_cache_miss_traffic_is_line () =
+  let w = Helpers.mixed_workload () in
+  let arch = Helpers.cache_only_arch w in
+  let m = Mem_sim.create arch ~regions:w.Workload.regions in
+  let r = List.hd w.Workload.regions in
+  let o =
+    Mem_sim.access m ~now:0 ~addr:r.Region.base ~size:4 ~write:false
+      ~region:r.Region.id
+  in
+  Helpers.check_true "cold miss" (not o.Mem_sim.hit);
+  Helpers.check_int "line fill" Helpers.small_cache.Params.c_line o.Mem_sim.dram_bytes
+
+let test_stats_add_up () =
+  let w = Helpers.mixed_workload () in
+  let arch = Helpers.rich_arch w in
+  let m = Mem_sim.create arch ~regions:w.Workload.regions in
+  let s = Mem_sim.run m w.Workload.trace in
+  Helpers.check_int "accesses" (Mx_trace.Trace.length w.Workload.trace)
+    s.Mem_sim.accesses;
+  let cpu_total =
+    List.fold_left
+      (fun acc sv -> acc + s.Mem_sim.cpu_accesses sv)
+      0
+      [ Mem_sim.By_cache; Mem_sim.By_sram; Mem_sim.By_sbuf; Mem_sim.By_lldma;
+        Mem_sim.By_dram_direct ]
+  in
+  Helpers.check_int "per-serving accesses partition the trace" s.Mem_sim.accesses
+    cpu_total;
+  Helpers.check_true "miss ratio in [0,1]"
+    (Mem_sim.miss_ratio s >= 0.0 && Mem_sim.miss_ratio s <= 1.0);
+  Helpers.check_true "hits + demand misses <= accesses"
+    (s.Mem_sim.on_chip_hits + s.Mem_sim.demand_misses <= s.Mem_sim.accesses)
+
+let test_rich_beats_cache_only_on_mixed () =
+  let w = Helpers.mixed_workload () in
+  let cache_only = Helpers.profile_of (Helpers.cache_only_arch w) w in
+  let rich = Helpers.profile_of (Helpers.rich_arch w) w in
+  Helpers.check_true "dedicated modules reduce demand misses"
+    (Mem_sim.miss_ratio rich <= Mem_sim.miss_ratio cache_only)
+
+let test_create_validates_regions () =
+  let w = Helpers.mixed_workload ~scale:100 () in
+  let arch = Mem_arch.make ~label:"small" ~bindings:[| Mem_arch.To_cache |] () in
+  Helpers.check_true "binding table too small rejected"
+    (try
+       ignore (Mem_sim.create arch ~regions:w.Workload.regions);
+       false
+     with Invalid_argument _ -> true)
+
+let test_dram_bytes_total_consistent () =
+  let w = Helpers.mixed_workload () in
+  let s = Helpers.profile_of (Helpers.rich_arch w) w in
+  let by_class =
+    List.fold_left
+      (fun acc sv -> acc + s.Mem_sim.dram_bytes_by sv)
+      0
+      [ Mem_sim.By_cache; Mem_sim.By_sram; Mem_sim.By_sbuf; Mem_sim.By_lldma;
+        Mem_sim.By_dram_direct ]
+  in
+  Helpers.check_int "dram bytes partition" s.Mem_sim.dram_bytes_total by_class
+
+let suite =
+  ( "mem-arch",
+    [
+      Alcotest.test_case "binding validation" `Quick test_make_validates_bindings;
+      Alcotest.test_case "cache-less allowed" `Quick test_to_cache_allowed_without_cache;
+      Alcotest.test_case "cost is sum" `Quick test_cost_is_sum_of_modules;
+      Alcotest.test_case "binding bounds" `Quick test_binding_of_bounds;
+      Alcotest.test_case "describe" `Quick test_describe_mentions_modules;
+      Alcotest.test_case "sram always hits" `Quick test_sram_always_hits;
+      Alcotest.test_case "direct dram" `Quick test_direct_dram_when_no_cache;
+      Alcotest.test_case "miss traffic = line" `Quick test_cache_miss_traffic_is_line;
+      Alcotest.test_case "stats add up" `Quick test_stats_add_up;
+      Alcotest.test_case "rich beats cache-only" `Quick test_rich_beats_cache_only_on_mixed;
+      Alcotest.test_case "region validation" `Quick test_create_validates_regions;
+      Alcotest.test_case "dram bytes partition" `Quick test_dram_bytes_total_consistent;
+    ] )

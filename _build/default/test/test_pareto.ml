@@ -1,0 +1,148 @@
+module Pareto = Mx_util.Pareto
+
+type pt = { x : float; y : float; z : float }
+
+let px p = p.x
+let py p = p.y
+let pz p = p.z
+let mk x y z = { x; y; z }
+
+let test_dominates_basic () =
+  let a = mk 1.0 1.0 1.0 and b = mk 2.0 2.0 2.0 in
+  Helpers.check_true "a dominates b" (Pareto.dominates ~axes:[ px; py; pz ] a b);
+  Helpers.check_true "b does not dominate a"
+    (not (Pareto.dominates ~axes:[ px; py; pz ] b a))
+
+let test_dominates_requires_strict () =
+  let a = mk 1.0 1.0 1.0 in
+  Helpers.check_true "no self-domination"
+    (not (Pareto.dominates ~axes:[ px; py; pz ] a (mk 1.0 1.0 1.0)))
+
+let test_dominates_incomparable () =
+  let a = mk 1.0 2.0 0.0 and b = mk 2.0 1.0 0.0 in
+  Helpers.check_true "incomparable a b" (not (Pareto.dominates ~axes:[ px; py ] a b));
+  Helpers.check_true "incomparable b a" (not (Pareto.dominates ~axes:[ px; py ] b a))
+
+let test_front_simple () =
+  let pts = [ mk 1.0 3.0 0.0; mk 2.0 2.0 0.0; mk 3.0 1.0 0.0; mk 3.0 3.0 0.0 ] in
+  let f = Pareto.front ~axes:[ px; py ] pts in
+  Helpers.check_int "front size" 3 (List.length f);
+  Helpers.check_true "dominated point removed"
+    (not (List.exists (fun p -> p.x = 3.0 && p.y = 3.0) f))
+
+let test_front_keeps_duplicates () =
+  let pts = [ mk 1.0 1.0 0.0; mk 1.0 1.0 0.0 ] in
+  Helpers.check_int "duplicates kept" 2
+    (List.length (Pareto.front ~axes:[ px; py ] pts))
+
+let test_front_empty () =
+  Helpers.check_int "empty front" 0 (List.length (Pareto.front ~axes:[ px ] []))
+
+let test_front2_sorted () =
+  let pts = [ mk 3.0 1.0 0.0; mk 1.0 3.0 0.0; mk 2.0 2.0 0.0; mk 2.5 2.5 0.0 ] in
+  let f = Pareto.front2 ~x:px ~y:py pts in
+  Helpers.check_int "front2 size" 3 (List.length f);
+  let xs = List.map px f in
+  Helpers.check_true "sorted by x" (xs = List.sort compare xs)
+
+let test_front2_equals_front () =
+  let pts =
+    List.init 50 (fun i ->
+        let f = float_of_int i in
+        mk (Float.rem (f *. 7.3) 11.0) (Float.rem (f *. 3.7) 13.0) 0.0)
+  in
+  let a =
+    Pareto.front2 ~x:px ~y:py pts |> List.map (fun p -> (p.x, p.y))
+  and b =
+    Pareto.front ~axes:[ px; py ] pts
+    |> List.map (fun p -> (p.x, p.y))
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "front2 agrees with generic front" (List.sort compare a) b
+
+let test_sort_by () =
+  let pts = [ mk 3.0 0.0 0.0; mk 1.0 0.0 0.0; mk 2.0 0.0 0.0 ] in
+  Alcotest.(check (list (float 1e-9)))
+    "ascending" [ 1.0; 2.0; 3.0 ]
+    (List.map px (Pareto.sort_by px pts))
+
+let test_coverage_full () =
+  let ref_pts = [ mk 1.0 3.0 0.0; mk 2.0 2.0 0.0 ] in
+  let r =
+    Pareto.Coverage.eval ~axes:[ px; py ]
+      ~equal:(fun a b -> a.x = b.x && a.y = b.y)
+      ~reference:ref_pts ~explored:ref_pts
+  in
+  Helpers.check_float "100% coverage" 100.0 r.Pareto.Coverage.coverage_pct;
+  Helpers.check_float "zero distance" 0.0 r.Pareto.Coverage.avg_dist_pct.(0)
+
+let test_coverage_partial () =
+  let ref_pts = [ mk 10.0 30.0 0.0; mk 20.0 20.0 0.0 ] in
+  let explored = [ mk 10.0 30.0 0.0; mk 22.0 20.0 0.0 ] in
+  let r =
+    Pareto.Coverage.eval ~axes:[ px; py ]
+      ~equal:(fun a b -> a.x = b.x && a.y = b.y)
+      ~reference:ref_pts ~explored
+  in
+  Helpers.check_float "50% coverage" 50.0 r.Pareto.Coverage.coverage_pct;
+  (* nearest to (20,20) is (22,20): 10% off on x, 0% on y *)
+  Helpers.check_float "x distance 10%" 10.0 r.Pareto.Coverage.avg_dist_pct.(0);
+  Helpers.check_float "y distance 0%" 0.0 r.Pareto.Coverage.avg_dist_pct.(1)
+
+let test_coverage_empty_reference () =
+  let r =
+    Pareto.Coverage.eval ~axes:[ px ]
+      ~equal:(fun _ _ -> false)
+      ~reference:[] ~explored:[ mk 1.0 0.0 0.0 ]
+  in
+  Helpers.check_float "empty reference = 100%" 100.0 r.Pareto.Coverage.coverage_pct
+
+let qcheck_front_members_not_dominated =
+  let gen =
+    QCheck.(list_of_size (Gen.int_range 1 40) (pair (float_bound_exclusive 100.0) (float_bound_exclusive 100.0)))
+  in
+  QCheck.Test.make ~name:"no front member is dominated by any input" gen
+    (fun pts ->
+      let pts = List.map (fun (x, y) -> mk x y 0.0) pts in
+      let f = Pareto.front ~axes:[ px; py ] pts in
+      List.for_all
+        (fun m ->
+          not (List.exists (fun p -> Pareto.dominates ~axes:[ px; py ] p m) pts))
+        f)
+
+let qcheck_front_covers_inputs =
+  let gen =
+    QCheck.(list_of_size (Gen.int_range 1 40) (pair (float_bound_exclusive 100.0) (float_bound_exclusive 100.0)))
+  in
+  QCheck.Test.make ~name:"every input is dominated by or on the front" gen
+    (fun pts ->
+      let pts = List.map (fun (x, y) -> mk x y 0.0) pts in
+      let f = Pareto.front ~axes:[ px; py ] pts in
+      List.for_all
+        (fun p ->
+          List.exists
+            (fun m ->
+              (m.x = p.x && m.y = p.y)
+              || Pareto.dominates ~axes:[ px; py ] m p)
+            f)
+        pts)
+
+let suite =
+  ( "pareto",
+    [
+      Alcotest.test_case "dominates basic" `Quick test_dominates_basic;
+      Alcotest.test_case "dominates strict" `Quick test_dominates_requires_strict;
+      Alcotest.test_case "incomparable" `Quick test_dominates_incomparable;
+      Alcotest.test_case "front simple" `Quick test_front_simple;
+      Alcotest.test_case "front duplicates" `Quick test_front_keeps_duplicates;
+      Alcotest.test_case "front empty" `Quick test_front_empty;
+      Alcotest.test_case "front2 sorted" `Quick test_front2_sorted;
+      Alcotest.test_case "front2 = front" `Quick test_front2_equals_front;
+      Alcotest.test_case "sort_by" `Quick test_sort_by;
+      Alcotest.test_case "coverage full" `Quick test_coverage_full;
+      Alcotest.test_case "coverage partial" `Quick test_coverage_partial;
+      Alcotest.test_case "coverage empty ref" `Quick test_coverage_empty_reference;
+      QCheck_alcotest.to_alcotest qcheck_front_members_not_dominated;
+      QCheck_alcotest.to_alcotest qcheck_front_covers_inputs;
+    ] )

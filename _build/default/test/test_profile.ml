@@ -1,0 +1,121 @@
+module Profile = Mx_trace.Profile
+module Region = Mx_trace.Region
+module Workload = Mx_trace.Workload
+module Synthetic = Mx_trace.Synthetic
+
+let analyze_mixed () = Profile.analyze (Helpers.mixed_workload ())
+
+let test_totals_consistent () =
+  let p = analyze_mixed () in
+  let sum =
+    Array.fold_left
+      (fun acc (s : Profile.region_stats) -> acc + s.reads + s.writes)
+      0 p.Profile.per_region
+  in
+  Helpers.check_int "per-region sums to total" p.Profile.total_accesses sum;
+  let bytes =
+    Array.fold_left
+      (fun acc (s : Profile.region_stats) -> acc + s.bytes)
+      0 p.Profile.per_region
+  in
+  Helpers.check_int "bytes consistent" p.Profile.total_bytes bytes
+
+let test_read_frac_range () =
+  let p = analyze_mixed () in
+  Helpers.check_true "read fraction sane"
+    (p.Profile.read_frac > 0.0 && p.Profile.read_frac < 1.0)
+
+let test_stream_detection () =
+  let p = analyze_mixed () in
+  let w = p.Profile.workload in
+  let s = Profile.stats p (Workload.region_by_name w "stream") in
+  Helpers.check_true "stream detected" (s.Profile.detected = Region.Stream)
+
+let test_indexed_detection () =
+  let p = analyze_mixed () in
+  let w = p.Profile.workload in
+  let s = Profile.stats p (Workload.region_by_name w "hot") in
+  Helpers.check_true "hot array detected as indexed"
+    (s.Profile.detected = Region.Indexed)
+
+let test_random_detection () =
+  let p = analyze_mixed () in
+  let w = p.Profile.workload in
+  let s = Profile.stats p (Workload.region_by_name w "table") in
+  Helpers.check_true "hash table detected as random"
+    (s.Profile.detected = Region.Random_access)
+
+let test_self_indirect_via_hint () =
+  let p = analyze_mixed () in
+  let w = p.Profile.workload in
+  let r = Workload.region_by_name w "list" in
+  Helpers.check_true "pattern honours the semantic hint"
+    (Profile.pattern p r = Region.Self_indirect)
+
+let test_bandwidth_share_sums_to_one () =
+  let p = analyze_mixed () in
+  let total =
+    List.fold_left
+      (fun acc r -> acc +. Profile.bandwidth_share p r)
+      0.0 p.Profile.workload.Workload.regions
+  in
+  Alcotest.(check (float 1e-6)) "shares sum to 1" 1.0 total
+
+let test_footprint_bounded_by_region () =
+  let p = analyze_mixed () in
+  Array.iter
+    (fun (s : Profile.region_stats) ->
+      Helpers.check_true "footprint <= region size + block slack"
+        (s.Profile.footprint <= s.Profile.region.Region.size + 64))
+    p.Profile.per_region
+
+let test_untouched_region_zero () =
+  (* a region declared but never accessed *)
+  let w =
+    Synthetic.generate ~name:"partial" ~scale:100 ~seed:3
+      ~specs:
+        [
+          Synthetic.spec ~name:"used" ~elems:64 Region.Stream;
+          Synthetic.spec ~name:"unused" ~elems:64 ~share:1e-9 Region.Stream;
+        ]
+  in
+  let p = Profile.analyze w in
+  let u = Profile.stats p (Workload.region_by_name w "unused") in
+  (* with share 1e-9 the region receives (essentially) nothing *)
+  Helpers.check_true "unused region nearly silent" (u.Profile.reads + u.Profile.writes <= 1)
+
+let test_stats_unknown_region_rejected () =
+  let p = analyze_mixed () in
+  let fake =
+    { Region.id = 999; name = "fake"; base = 0; size = 64; elem_size = 4;
+      hint = Region.Stream }
+  in
+  Helpers.check_true "unknown region rejected"
+    (try
+       ignore (Profile.stats p fake);
+       false
+     with Invalid_argument _ -> true)
+
+let test_reuse_of_hot_region_high () =
+  let p = analyze_mixed () in
+  let w = p.Profile.workload in
+  let hot = Profile.stats p (Workload.region_by_name w "hot") in
+  let table = Profile.stats p (Workload.region_by_name w "table") in
+  Helpers.check_true "hot reuse beats table reuse"
+    (hot.Profile.reuse > table.Profile.reuse)
+
+let suite =
+  ( "profile",
+    [
+      Alcotest.test_case "totals consistent" `Quick test_totals_consistent;
+      Alcotest.test_case "read fraction" `Quick test_read_frac_range;
+      Alcotest.test_case "stream detection" `Quick test_stream_detection;
+      Alcotest.test_case "indexed detection" `Quick test_indexed_detection;
+      Alcotest.test_case "random detection" `Quick test_random_detection;
+      Alcotest.test_case "self-indirect hint" `Quick test_self_indirect_via_hint;
+      Alcotest.test_case "bandwidth shares" `Quick test_bandwidth_share_sums_to_one;
+      Alcotest.test_case "footprint bounded" `Quick test_footprint_bounded_by_region;
+      Alcotest.test_case "untouched region" `Quick test_untouched_region_zero;
+      Alcotest.test_case "unknown region rejected" `Quick test_stats_unknown_region_rejected;
+      Alcotest.test_case "reuse ordering" `Quick test_reuse_of_hot_region_high;
+    ] )

@@ -1,0 +1,70 @@
+module Stats = Mx_util.Stats
+
+let test_running_empty () =
+  let r = Stats.Running.create () in
+  Helpers.check_int "count" 0 (Stats.Running.count r);
+  Helpers.check_float "mean" 0.0 (Stats.Running.mean r);
+  Helpers.check_float "variance" 0.0 (Stats.Running.variance r)
+
+let test_running_single () =
+  let r = Stats.Running.create () in
+  Stats.Running.add r 4.0;
+  Helpers.check_float "mean" 4.0 (Stats.Running.mean r);
+  Helpers.check_float "variance of one" 0.0 (Stats.Running.variance r);
+  Helpers.check_float "min" 4.0 (Stats.Running.min r);
+  Helpers.check_float "max" 4.0 (Stats.Running.max r)
+
+let test_running_known () =
+  let r = Stats.Running.create () in
+  List.iter (Stats.Running.add r) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Helpers.check_float "mean" 5.0 (Stats.Running.mean r);
+  Alcotest.(check (float 1e-6)) "population variance" 4.0 (Stats.Running.variance r);
+  Alcotest.(check (float 1e-6)) "stddev" 2.0 (Stats.Running.stddev r);
+  Helpers.check_float "min" 2.0 (Stats.Running.min r);
+  Helpers.check_float "max" 9.0 (Stats.Running.max r)
+
+let test_mean () =
+  Helpers.check_float "empty" 0.0 (Stats.mean []);
+  Helpers.check_float "values" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ])
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Helpers.check_float "p50" 50.0 (Stats.percentile xs ~p:50.0);
+  Helpers.check_float "p100" 100.0 (Stats.percentile xs ~p:100.0);
+  Helpers.check_float "p1" 1.0 (Stats.percentile xs ~p:1.0)
+
+let test_percentile_empty () =
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.percentile: empty list") (fun () ->
+      ignore (Stats.percentile [] ~p:50.0))
+
+let test_geometric_mean () =
+  Alcotest.(check (float 1e-9)) "gm" 4.0 (Stats.geometric_mean [ 2.0; 8.0 ]);
+  Helpers.check_float "empty gm" 0.0 (Stats.geometric_mean [])
+
+let test_ratio_pct () =
+  Helpers.check_float "improvement" 50.0 (Stats.ratio_pct 5.0 10.0);
+  Helpers.check_float "zero denominator" 0.0 (Stats.ratio_pct 5.0 0.0);
+  Helpers.check_float "regression negative" (-100.0) (Stats.ratio_pct 10.0 5.0)
+
+let qcheck_running_mean_matches_list_mean =
+  QCheck.Test.make ~name:"running mean equals list mean"
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let r = Stats.Running.create () in
+      List.iter (Stats.Running.add r) xs;
+      Float.abs (Stats.Running.mean r -. Stats.mean xs) < 1e-6)
+
+let suite =
+  ( "stats",
+    [
+      Alcotest.test_case "running empty" `Quick test_running_empty;
+      Alcotest.test_case "running single" `Quick test_running_single;
+      Alcotest.test_case "running known" `Quick test_running_known;
+      Alcotest.test_case "mean" `Quick test_mean;
+      Alcotest.test_case "percentile" `Quick test_percentile;
+      Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
+      Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+      Alcotest.test_case "ratio pct" `Quick test_ratio_pct;
+      QCheck_alcotest.to_alcotest qcheck_running_mean_matches_list_mean;
+    ] )

@@ -1,0 +1,59 @@
+module Table = Mx_util.Table
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_contains_rows () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Table.add_row t [ "x"; "y" ];
+  let s = Table.render t in
+  Helpers.check_true "row cell present" (contains s " x ");
+  Helpers.check_true "header present" (contains s " a ")
+
+let test_arity_mismatch () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "bad row" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_align_mismatch () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "bad align"
+    (Invalid_argument "Table.set_align: arity mismatch") (fun () ->
+      Table.set_align t [ Table.Left ])
+
+let test_numeric_right_alignment () =
+  let t = Table.create ~headers:[ "metric"; "count" ] in
+  Table.add_row t [ "misses"; "5" ];
+  Table.add_row t [ "hits"; "1234" ];
+  let s = Table.render t in
+  (* the numeric column pads on the left: " 5 |" preceded by spaces *)
+  Helpers.check_true "right aligned number" (contains s "    5 |")
+
+let test_rule_renders () =
+  let t = Table.create ~headers:[ "a" ] in
+  Table.add_row t [ "1" ];
+  Table.add_rule t;
+  Table.add_row t [ "2" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  let rules = List.filter (fun l -> String.length l > 0 && l.[0] = '+') lines in
+  (* top, under-header, inner, bottom *)
+  Helpers.check_int "rule count" 4 (List.length rules)
+
+let test_wide_cells_expand () =
+  let t = Table.create ~headers:[ "h" ] in
+  Table.add_row t [ "a-much-longer-cell" ];
+  let s = Table.render t in
+  Helpers.check_true "long cell fits" (contains s "a-much-longer-cell")
+
+let suite =
+  ( "table",
+    [
+      Alcotest.test_case "contains rows" `Quick test_contains_rows;
+      Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+      Alcotest.test_case "align mismatch" `Quick test_align_mismatch;
+      Alcotest.test_case "numeric right align" `Quick test_numeric_right_alignment;
+      Alcotest.test_case "rules render" `Quick test_rule_renders;
+      Alcotest.test_case "wide cells" `Quick test_wide_cells_expand;
+    ] )
