@@ -14,6 +14,11 @@ module Assign = Mx_connect.Assign
 
 let check = Experiments.check
 
+(* Shares the harness-wide --jobs knob. *)
+let jobs = Experiments.jobs
+
+let parallel_sims f xs = Mx_util.Task_pool.parallel_map ~jobs:!jobs ~chunk:1 f xs
+
 let prepared =
   lazy
     (let w = Mx_trace.Kern_compress.generate ~scale:60_000 ~seed:7 in
@@ -67,7 +72,7 @@ let clustering_order () =
               brg.Mx_connect.Brg.channels
           in
           let ests =
-            List.map
+            Mx_util.Task_pool.parallel_map ~jobs:!jobs ~chunk:32
               (fun conn ->
                 let est =
                   Mx_sim.Estimator.estimate ~workload:w
@@ -82,7 +87,7 @@ let clustering_order () =
         apex
     in
     let simulated =
-      List.map
+      parallel_sims
         (fun (d : Design.t) ->
           Design.with_sim d
             (Mx_sim.Cycle_sim.run ~workload:w ~arch:d.Design.mem
@@ -156,7 +161,7 @@ let estimation_fidelity () =
   Printf.printf "architecture: %s, %d connectivity candidates\n\n"
     cand.Mx_apex.Explore.arch.Mx_mem.Mem_arch.label (List.length conns);
   let exact =
-    List.map
+    parallel_sims
       (fun conn ->
         (Mx_sim.Cycle_sim.run ~workload:w ~arch:cand.Mx_apex.Explore.arch ~conn ())
           .Mx_sim.Sim_result.avg_mem_latency)
@@ -169,7 +174,7 @@ let estimation_fidelity () =
           .Mx_sim.Sim_result.avg_mem_latency)
       conns
   and sampled =
-    List.map
+    parallel_sims
       (fun conn ->
         (Mx_sim.Cycle_sim.run ~sample:Mx_sim.Cycle_sim.default_sample
            ~workload:w ~arch:cand.Mx_apex.Explore.arch ~conn ())
@@ -276,7 +281,7 @@ let cpu_overlap () =
   in
   let conns = List.filteri (fun i _ -> i < 40) conns in
   let latencies cpu =
-    List.map
+    parallel_sims
       (fun conn ->
         (Mx_sim.Cycle_sim.run ~cpu ~workload:w ~arch:cand.Mx_apex.Explore.arch
            ~conn ())

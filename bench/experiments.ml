@@ -16,6 +16,10 @@ module Table = Mx_util.Table
 let scale = 100_000
 let table2_scale = 12_000
 
+(* Parallelism for every exploration in the harness; set once from the
+   CLI (--jobs) before any experiment runs. *)
+let jobs = ref (Mx_util.Task_pool.default_jobs ())
+
 let check name ok =
   Printf.printf "CHECK %-58s %s\n" name (if ok then "PASS" else "FAIL")
 
@@ -36,8 +40,12 @@ let conex name =
   match Hashtbl.find_opt conex_results name with
   | Some r -> r
   | None ->
-    let r = Explore.run (workload name) in
+    let config = { Explore.default_config with Explore.jobs = !jobs } in
+    let r = Explore.run ~config (workload name) in
     Hashtbl.add conex_results name r;
+    Json_out.record_experiment ~name:("explore:" ^ name)
+      ~wall_seconds:r.Explore.wall_seconds ~n_estimates:r.Explore.n_estimates
+      ~n_simulations:r.Explore.n_simulations;
     r
 
 (* -- Fig. 3: APEX memory-modules pareto for compress ------------------- *)
@@ -299,6 +307,7 @@ let table2_config =
     phase1_keep = 16;
     sample = None;
     refine_top = 0;
+    jobs = 1;
   }
 
 let table2 () =
@@ -311,9 +320,10 @@ let table2 () =
   print_endline "==================================================================";
   let bench name gen =
     let w = gen ~scale:table2_scale ~seed:7 in
-    let full = Strategy.run ~config:table2_config Strategy.Full w in
-    let pruned = Strategy.run ~config:table2_config Strategy.Pruned w in
-    let nbhd = Strategy.run ~config:table2_config Strategy.Neighborhood w in
+    let config = { table2_config with Explore.jobs = !jobs } in
+    let full = Strategy.run ~config Strategy.Full w in
+    let pruned = Strategy.run ~config Strategy.Pruned w in
+    let nbhd = Strategy.run ~config Strategy.Neighborhood w in
     let paper = List.assoc name Paper_data.table2 in
     Printf.printf "\n--- %s ---\n" name;
     let t =
@@ -370,7 +380,8 @@ let table2 () =
     { table2_config with
       Explore.onchip = Mx_connect.Component.onchip_library;
       offchip = Mx_connect.Component.offchip_library;
-      max_designs_per_level = 4096 }
+      max_designs_per_level = 4096;
+      jobs = !jobs }
   in
   (match
      Strategy.run ~config:wide_config ~full_budget:10_000 Strategy.Full li

@@ -1,18 +1,38 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation plus bechamel micro-benchmarks.
+   evaluation plus bechamel micro-benchmarks and the parallel-scaling
+   report.
 
-     dune exec bench/main.exe            -- everything
-     dune exec bench/main.exe -- fig3    -- one experiment
-     dune exec bench/main.exe -- micro   -- micro-benchmarks only       *)
+     dune exec bench/main.exe                      -- everything
+     dune exec bench/main.exe -- fig3              -- one experiment
+     dune exec bench/main.exe -- scaling           -- jobs scaling only
+     dune exec bench/main.exe -- all --jobs 8      -- explore with 8 domains
+     dune exec bench/main.exe -- all --json BENCH_conex.json              *)
 
 let usage () =
   print_endline
-    "usage: main.exe [fig3|fig4|fig6|table1|table2|ablation|micro|all]";
+    "usage: main.exe [fig3|fig4|fig6|table1|table2|ablation|micro|scaling|all]\n\
+    \       [--jobs N] [--json PATH]";
   exit 2
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  match what with
+  let what = ref None and json = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+      json := Some path;
+      parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> Experiments.jobs := n
+      | _ -> usage ());
+      parse rest
+    | arg :: rest when !what = None && arg.[0] <> '-' ->
+      what := Some arg;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (match Option.value !what ~default:"all" with
   | "fig3" -> Experiments.fig3 ()
   | "fig4" -> Experiments.fig4 ()
   | "fig6" -> Experiments.fig6 ()
@@ -20,8 +40,11 @@ let () =
   | "table2" -> Experiments.table2 ()
   | "ablation" -> Ablation.all ()
   | "micro" -> Micro.run ()
+  | "scaling" -> Micro.scaling ()
   | "all" ->
     Experiments.all ();
     Ablation.all ();
+    Micro.scaling ();
     Micro.run ()
-  | _ -> usage ()
+  | _ -> usage ());
+  Option.iter (fun path -> Json_out.write ~path) !json

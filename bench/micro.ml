@@ -108,6 +108,54 @@ let tests =
     test_substrate_trace_gen;
   ]
 
+(* -- parallel scaling: serial vs task-pool exploration ------------------- *)
+
+let scaling ?(jobs_levels = [ 1; 2; 4 ]) () =
+  print_endline "==================================================================";
+  print_endline "Scaling -- Explore.run wall time vs jobs (fig3-class workload)";
+  Printf.printf "  Domain.recommended_domain_count = %d\n"
+    (Domain.recommended_domain_count ());
+  print_endline "==================================================================";
+  let w = Mx_trace.Kern_compress.generate ~scale:40_000 ~seed:7 in
+  let run_at jobs =
+    let config = { Conex.Explore.reduced_config with Conex.Explore.jobs } in
+    let t0 = Unix.gettimeofday () in
+    let r = Conex.Explore.run ~config w in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let serial, t_serial = run_at 1 in
+  let t =
+    Mx_util.Table.create
+      ~headers:[ "jobs"; "wall [s]"; "speedup"; "identical to serial" ]
+  in
+  List.iter
+    (fun jobs ->
+      let r, secs = if jobs = 1 then (serial, t_serial) else run_at jobs in
+      let speedup = t_serial /. Float.max 1e-9 secs in
+      (* the determinism guarantee: same designs, same order, same front *)
+      let identical =
+        List.map Conex.Design.id r.Conex.Explore.simulated
+          = List.map Conex.Design.id serial.Conex.Explore.simulated
+        && r.Conex.Explore.simulated = serial.Conex.Explore.simulated
+        && r.Conex.Explore.pareto_cost_perf
+           = serial.Conex.Explore.pareto_cost_perf
+      in
+      Mx_util.Table.add_row t
+        [
+          string_of_int jobs;
+          Printf.sprintf "%.2f" secs;
+          Printf.sprintf "%.2fx" speedup;
+          (if identical then "yes" else "NO");
+        ];
+      Json_out.record_scaling ~bench:"explore:compress-40k" ~jobs
+        ~wall_seconds:secs ~speedup;
+      Experiments.check
+        (Printf.sprintf "jobs=%d results byte-identical to serial" jobs)
+        identical)
+    jobs_levels;
+  Mx_util.Table.print t;
+  print_newline ()
+
 let run () =
   print_endline "==================================================================";
   print_endline "Micro-benchmarks (bechamel, OLS vs monotonic clock)";

@@ -65,8 +65,22 @@ let reduced_arg =
   let doc = "Use the reduced module/component catalogue (much faster)." in
   Arg.(value & flag & info [ "reduced" ] ~doc)
 
-let config_of_reduced reduced =
-  if reduced then Conex.Explore.reduced_config else Conex.Explore.default_config
+let jobs_arg =
+  let doc =
+    "Number of domains used for estimation and simulation (default: cores \
+     minus one, at least 1).  Results are identical at every jobs level."
+  in
+  Arg.(
+    value
+    & opt int (Mx_util.Task_pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let config_of_reduced reduced jobs =
+  let base =
+    if reduced then Conex.Explore.reduced_config
+    else Conex.Explore.default_config
+  in
+  { base with Conex.Explore.jobs = max 1 jobs }
 
 (* -- profile ---------------------------------------------------------- *)
 
@@ -144,9 +158,9 @@ let parse_scenario s =
     exit 2
 
 let explore_cmd =
-  let run name scale seed reduced scenario plot trace_in csv bus_report =
+  let run name scale seed reduced jobs scenario plot trace_in csv bus_report =
     let w = resolve_workload name scale seed trace_in in
-    let r = Conex.Explore.run ~config:(config_of_reduced reduced) w in
+    let r = Conex.Explore.run ~config:(config_of_reduced reduced jobs) w in
     Printf.printf
       "%s: %d estimates -> %d simulations -> %d pareto designs (%.1fs)\n\n"
       name r.Conex.Explore.n_estimates r.Conex.Explore.n_simulations
@@ -224,7 +238,7 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore" ~doc:"Full two-phase ConEx exploration")
     Term.(
-      const run $ workload_arg $ scale_arg $ seed_arg $ reduced_arg
+      const run $ workload_arg $ scale_arg $ seed_arg $ reduced_arg $ jobs_arg
       $ scenario_arg $ plot_arg $ trace_in_arg $ csv_arg $ bus_report_arg)
 
 (* -- select: re-select from a saved CSV ---------------------------------- *)
@@ -324,9 +338,9 @@ let select_cmd =
 (* -- strategies ---------------------------------------------------------- *)
 
 let strategies_cmd =
-  let run name scale seed =
+  let run name scale seed jobs =
     let w = make_workload name ~scale ~seed in
-    let config = Conex.Explore.reduced_config in
+    let config = config_of_reduced true jobs in
     let full = Conex.Strategy.run ~config Conex.Strategy.Full w in
     List.iter
       (fun kind ->
@@ -340,7 +354,7 @@ let strategies_cmd =
   Cmd.v
     (Cmd.info "strategies"
        ~doc:"Compare Pruned / Neighborhood / Full exploration strategies")
-    Term.(const run $ workload_arg $ scale_arg $ seed_arg)
+    Term.(const run $ workload_arg $ scale_arg $ seed_arg $ jobs_arg)
 
 let main_cmd =
   let doc = "Memory system connectivity exploration (ConEx, DATE 2002)" in

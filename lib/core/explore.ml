@@ -11,6 +11,7 @@ type config = {
   phase1_keep : int;
   sample : (int * int) option;
   refine_top : int;
+  jobs : int;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     phase1_keep = 24;
     sample = None;
     refine_top = 16;
+    jobs = Mx_util.Task_pool.default_jobs ();
   }
 
 let reduced_config =
@@ -40,6 +42,7 @@ let reduced_config =
     phase1_keep = 12;
     sample = None;
     refine_top = 8;
+    jobs = Mx_util.Task_pool.default_jobs ();
   }
 
 type result = {
@@ -53,13 +56,18 @@ type result = {
   wall_seconds : float;
 }
 
+(* Estimates are cheap (micro- to milliseconds each), so chunk them to
+   amortise dispatch; simulations are seconds each, so they are
+   dispatched one by one for load balance. *)
+let estimate_chunk = 32
+
 let connectivity_exploration cfg workload (cand : Mx_apex.Explore.candidate) =
   let brg = Brg.build cand.Mx_apex.Explore.arch cand.Mx_apex.Explore.profile in
   let conns =
     Assign.enumerate_levels ~max_designs_per_level:cfg.max_designs_per_level
       ~onchip:cfg.onchip ~offchip:cfg.offchip brg.Brg.channels
   in
-  List.map
+  Mx_util.Task_pool.parallel_map ~jobs:cfg.jobs ~chunk:estimate_chunk
     (fun conn ->
       let est =
         Mx_sim.Estimator.estimate ~workload ~arch:cand.Mx_apex.Explore.arch
@@ -76,7 +84,8 @@ let thin_by_cost ~keep designs =
   if n <= keep || keep <= 0 then designs
   else begin
     let arr = Array.of_list (Mx_util.Pareto.sort_by Design.cost designs) in
-    List.init keep (fun i -> arr.(i * (n - 1) / (keep - 1)))
+    if keep = 1 then [ arr.(0) ]
+    else List.init keep (fun i -> arr.(i * (n - 1) / (keep - 1)))
   end
 
 let local_promising cfg designs =
@@ -94,21 +103,23 @@ let run ?(config = default_config) workload =
   let profile = Mx_trace.Profile.analyze workload in
   let apex_selected = Mx_apex.Explore.select ~config:config.apex profile in
   (* Phase I: estimate the connectivity space of each selected memory
-     architecture and keep the locally promising points *)
-  let estimated = ref [] in
-  let survivors =
-    List.concat_map
-      (fun cand ->
-        let ests = connectivity_exploration config workload cand in
-        estimated := List.rev_append ests !estimated;
-        local_promising config ests)
-      apex_selected
+     architecture and keep the locally promising points.  The estimate
+     fan-out inside [connectivity_exploration] runs on the task pool;
+     the per-architecture loop stays serial so the pool is never asked
+     to nest. *)
+  let per_arch =
+    List.map (connectivity_exploration config workload) apex_selected
   in
+  let estimated = List.concat per_arch in
+  let survivors = List.concat_map (local_promising config) per_arch in
   (* Phase II: simulation of the combined candidates (optionally
      time-sampled), then the global selection; with sampling enabled the
      most promising sampled designs are refined by exact simulation, as
      in the paper *)
-  let simulated = List.map (simulate config workload) survivors in
+  let simulated =
+    Mx_util.Task_pool.parallel_map ~jobs:config.jobs ~chunk:1
+      (simulate config workload) survivors
+  in
   let simulated =
     match config.sample with
     | Some _ when config.refine_top > 0 ->
@@ -118,7 +129,7 @@ let run ?(config = default_config) workload =
       let to_refine =
         List.filteri (fun i _ -> i < config.refine_top) front
       in
-      List.map
+      Mx_util.Task_pool.parallel_map ~jobs:config.jobs ~chunk:1
         (fun d ->
           if List.exists (Design.equal_structure d) to_refine then
             Design.with_sim d
@@ -134,10 +145,10 @@ let run ?(config = default_config) workload =
   {
     workload;
     apex_selected;
-    estimated = List.rev !estimated;
+    estimated;
     simulated;
     pareto_cost_perf;
-    n_estimates = List.length !estimated;
+    n_estimates = List.length estimated;
     n_simulations = List.length simulated;
     wall_seconds = Unix.gettimeofday () -. t0;
   }

@@ -32,6 +32,13 @@ type config = {
           this many) — the paper's "we then use full simulation for the
           most promising designs, to further refine the tradeoff
           choices"; ignored when [sample = None] *)
+  jobs : int;
+      (** number of domains used for the Phase I estimate fan-out, the
+          Phase II simulations and the refinement pass, via
+          {!Mx_util.Task_pool}.  [jobs <= 1] runs everything serially on
+          the calling domain.  Results are bit-identical at every jobs
+          level (same designs, same order, same pareto front).  Defaults
+          to {!Mx_util.Task_pool.default_jobs}. *)
 }
 
 val default_config : config
@@ -60,6 +67,11 @@ val connectivity_exploration :
 (** One memory architecture: BRG, clustering levels, feasible
     assignments, estimation.  Returns estimated (unsimulated) design
     points. *)
+
+val thin_by_cost : keep:int -> Design.t list -> Design.t list
+(** Even cost-spread subsample of [keep] designs (the cheapest and the
+    most expensive always survive; [keep = 1] returns the single
+    cheapest).  Identity when the list already fits or [keep <= 0]. *)
 
 val local_promising : config -> Design.t list -> Design.t list
 (** Phase I selection: the 3-objective (cost, latency, energy) pareto

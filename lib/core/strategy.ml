@@ -92,7 +92,7 @@ let run ?(config = Explore.default_config) ?(neighbors = 2)
         apex_front
     in
     let simulated =
-      List.map
+      Mx_util.Task_pool.parallel_map ~jobs:config.Explore.jobs ~chunk:1
         (fun (d : Design.t) ->
           Design.with_sim d
             (Mx_sim.Cycle_sim.run ?sample:config.Explore.sample ~workload
@@ -127,19 +127,22 @@ let run ?(config = Explore.default_config) ?(neighbors = 2)
     in
     if projected > full_budget then
       raise (Full_infeasible { projected_sims = projected; budget = full_budget });
-    let simulated =
+    let flat =
       List.concat_map
         (fun ((cand : Mx_apex.Explore.candidate), conns) ->
-          List.map
-            (fun conn ->
-              let d =
-                Design.make ~workload_name:workload.Mx_trace.Workload.name
-                  ~mem:cand.Mx_apex.Explore.arch ~conn ()
-              in
-              Design.with_sim d
-                (Mx_sim.Cycle_sim.run ?sample:config.Explore.sample ~workload
-                   ~arch:d.Design.mem ~conn ()))
-            conns)
+          List.map (fun conn -> (cand, conn)) conns)
         per_arch
+    in
+    let simulated =
+      Mx_util.Task_pool.parallel_map ~jobs:config.Explore.jobs ~chunk:1
+        (fun ((cand : Mx_apex.Explore.candidate), conn) ->
+          let d =
+            Design.make ~workload_name:workload.Mx_trace.Workload.name
+              ~mem:cand.Mx_apex.Explore.arch ~conn ()
+          in
+          Design.with_sim d
+            (Mx_sim.Cycle_sim.run ?sample:config.Explore.sample ~workload
+               ~arch:d.Design.mem ~conn ()))
+        flat
     in
     finish Full ~n_estimates:0 ~t0 simulated

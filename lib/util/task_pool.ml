@@ -1,0 +1,129 @@
+(* A single process-wide pool guarded by one mutex: workers block on
+   [cond] waiting for tasks; completions are signalled on the same
+   condition variable (waiters re-check their own predicate, so shared
+   wakeups are only spurious, never lost). *)
+
+type task = unit -> unit
+
+let mutex = Mutex.create ()
+let cond = Condition.create ()
+let queue : task Queue.t = Queue.create ()
+let workers : unit Domain.t list ref = ref []
+let stopping = ref false
+
+(* Workers mark their domain so that nested [parallel_map] calls degrade
+   to serial maps instead of deadlocking the pool on itself. *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let pool_size () =
+  Mutex.lock mutex;
+  let n = List.length !workers in
+  Mutex.unlock mutex;
+  n
+
+let worker_loop () =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock mutex;
+    while Queue.is_empty queue && not !stopping do
+      Condition.wait cond mutex
+    done;
+    match Queue.take_opt queue with
+    | None -> Mutex.unlock mutex (* stopping and drained: exit *)
+    | Some task ->
+      Mutex.unlock mutex;
+      task ();
+      loop ()
+  in
+  loop ()
+
+(* Tear the pool down when the main domain exits so the runtime never
+   waits on workers parked in [Condition.wait]. *)
+let () =
+  at_exit (fun () ->
+      Mutex.lock mutex;
+      stopping := true;
+      let ws = !workers in
+      workers := [];
+      Condition.broadcast cond;
+      Mutex.unlock mutex;
+      List.iter Domain.join ws)
+
+(* Grow the pool to [n] workers; caller holds [mutex]. *)
+let ensure_workers n =
+  let have = List.length !workers in
+  for _ = have + 1 to n do
+    workers := Domain.spawn worker_loop :: !workers
+  done
+
+let parallel_map ~jobs ~chunk f xs =
+  if jobs < 0 then invalid_arg "Task_pool.parallel_map: jobs < 0";
+  let chunk = max 1 chunk in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs <= 1 || Domain.DLS.get in_worker -> List.map f xs
+  | _ ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let nchunks = (n + chunk - 1) / chunk in
+    (* per-call completion state; [results] and [remaining] are only
+       touched under [mutex] *)
+    let results : ('b list, exn) result option array = Array.make nchunks None in
+    let remaining = ref nchunks in
+    let run_chunk ci =
+      let lo = ci * chunk in
+      let hi = min n (lo + chunk) - 1 in
+      let r =
+        try
+          (* explicit left-to-right order within the chunk *)
+          let rec go i acc =
+            if i > hi then List.rev acc else go (i + 1) (f arr.(i) :: acc)
+          in
+          Ok (go lo [])
+        with e -> Error e
+      in
+      Mutex.lock mutex;
+      results.(ci) <- Some r;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast cond;
+      Mutex.unlock mutex
+    in
+    Mutex.lock mutex;
+    ensure_workers (min (jobs - 1) (nchunks - 1));
+    for ci = nchunks - 1 downto 1 do
+      Queue.push (fun () -> run_chunk ci) queue
+    done;
+    Condition.broadcast cond;
+    Mutex.unlock mutex;
+    (* the caller is a full participant: run chunk 0, then keep draining
+       the queue; block only when every remaining chunk is in flight *)
+    run_chunk 0;
+    let rec help () =
+      Mutex.lock mutex;
+      if !remaining = 0 then Mutex.unlock mutex
+      else
+        match Queue.take_opt queue with
+        | Some task ->
+          Mutex.unlock mutex;
+          task ();
+          help ()
+        | None ->
+          while !remaining > 0 do
+            Condition.wait cond mutex
+          done;
+          Mutex.unlock mutex
+    in
+    help ();
+    let out = ref [] in
+    let error = ref None in
+    for ci = nchunks - 1 downto 0 do
+      match results.(ci) with
+      | Some (Ok ys) -> out := ys @ !out
+      | Some (Error e) -> error := Some e
+      | None -> assert false
+    done;
+    (match !error with Some e -> raise e | None -> ());
+    !out

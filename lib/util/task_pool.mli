@@ -1,0 +1,41 @@
+(** A reusable fixed-size pool of worker domains for data-parallel maps.
+
+    Domains are spawned lazily on the first parallel call and reused by
+    every subsequent call (spawning a domain costs ~100µs and each one
+    owns a minor heap, so a pool must be long-lived).  The pool only
+    ever grows, up to the largest [jobs] ever requested, and is torn
+    down automatically at program exit.
+
+    Concurrency contract for work items: the mapped function receives
+    elements of the input list and must not share {e mutable} state with
+    other invocations — immutable (frozen) structures may be shared
+    freely across domains.  [parallel_map] called from inside a worker
+    (nested parallelism) silently degrades to [List.map], so it is safe
+    but not faster. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1.  One domain is
+    reserved for the caller, which also participates in the map. *)
+
+val pool_size : unit -> int
+(** Number of worker domains currently alive (0 until the first
+    parallel call). *)
+
+val parallel_map : jobs:int -> chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map ~jobs ~chunk f xs] is [List.map f xs] computed with up
+    to [jobs] domains (the caller plus [jobs - 1] pool workers).  The
+    input is split into contiguous chunks of [chunk] elements ([chunk]
+    is clamped to at least 1) that are dispatched to the pool; the
+    caller executes chunks too, so no domain idles.
+
+    Guarantees:
+    - {b ordering}: the result list is in input order, identical to
+      [List.map f xs] — chunking and scheduling are invisible;
+    - {b exceptions}: if any [f x] raises, the first exception in input
+      order is re-raised in the caller after all in-flight chunks have
+      drained (other chunks may have run: [f] should be effect-free);
+    - {b serial fallback}: [jobs <= 1], a singleton or empty [xs], or a
+      call from inside a pool worker runs plain [List.map f xs] on the
+      calling domain and spawns nothing.
+
+    @raise Invalid_argument if [jobs < 0]. *)

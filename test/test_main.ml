@@ -5,6 +5,7 @@ let () =
       Test_pareto.suite;
       Test_stats.suite;
       Test_table.suite;
+      Test_parallel.suite;
       Test_trace.suite;
       Test_kernels.suite;
       Test_profile.suite;
