@@ -62,6 +62,16 @@ let write ~path =
            (if i = List.length exps - 1 then "" else ",")))
     exps;
   Buffer.add_string b "  ],\n";
+  (* exploration metrics collected during the run (funnel counters, bus
+     utilisation, span tree) — one more section of the same document *)
+  let metrics_json = Mx_util.Metrics.to_json Mx_util.Metrics.global in
+  Buffer.add_string b "  \"metrics\": ";
+  String.iter
+    (fun c ->
+      Buffer.add_char b c;
+      if c = '\n' then Buffer.add_string b "  ")
+    (String.trim metrics_json);
+  Buffer.add_string b ",\n";
   Buffer.add_string b "  \"scaling\": [\n";
   let scs = List.rev !scalings in
   List.iteri

@@ -32,6 +32,9 @@ let () =
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* collect exploration metrics for the whole run; they land in the
+     "metrics" section of the --json output *)
+  Mx_util.Metrics.set_enabled Mx_util.Metrics.global true;
   (match Option.value !what ~default:"all" with
   | "fig3" -> Experiments.fig3 ()
   | "fig4" -> Experiments.fig4 ()

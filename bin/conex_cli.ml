@@ -10,6 +10,27 @@ open Cmdliner
 let workload_names =
   [ "compress"; "li"; "vocoder"; "jpeg"; "fft"; "dijkstra"; "mixed" ]
 
+(* User errors exit 2, I/O errors exit 1 — never an uncaught exception
+   (cmdliner would report "internal error" and exit 125). *)
+let die_usage fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline s;
+      exit 2)
+    fmt
+
+let die_io fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline s;
+      exit 1)
+    fmt
+
+let check_workload_name name =
+  if not (List.mem name workload_names) then
+    die_usage "unknown workload %S (expected %s)" name
+      (String.concat "|" workload_names)
+
 let make_workload name ~scale ~seed =
   match name with
   | "compress" -> Mx_trace.Kern_compress.generate ~scale ~seed
@@ -32,9 +53,8 @@ let make_workload name ~scale ~seed =
             Mx_trace.Region.Self_indirect;
         ]
   | other ->
-    Printf.eprintf "unknown workload %S (expected %s)\n" other
-      (String.concat "|" workload_names);
-    exit 2
+    die_usage "unknown workload %S (expected %s)" other
+      (String.concat "|" workload_names)
 
 (* common options *)
 
@@ -50,7 +70,11 @@ let trace_in_arg =
 
 let resolve_workload name scale seed trace_in =
   match trace_in with
-  | Some path -> Mx_trace.Trace_io.load ~path
+  | Some path -> (
+    try Mx_trace.Trace_io.load ~path with
+    | Sys_error msg -> die_io "cannot load trace: %s" msg
+    | Mx_trace.Trace_io.Parse_error { line; message } ->
+      die_io "cannot load trace %s: line %d: %s" path line message)
   | None -> make_workload name ~scale ~seed
 
 let scale_arg =
@@ -81,6 +105,60 @@ let config_of_reduced reduced jobs =
     else Conex.Explore.default_config
   in
   { base with Conex.Explore.jobs = max 1 jobs }
+
+(* -- observability ----------------------------------------------------- *)
+
+let metrics_arg =
+  let doc =
+    "Collect exploration metrics and print them after the run, as $(b,text) \
+     or $(b,json) (counters, gauges, histograms and the span trace tree)."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
+    & info [ "metrics" ] ~docv:"FORMAT" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Collect exploration metrics and write the JSON document (same schema as \
+     --metrics json) to $(docv)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+(* Enable (and clear) the ambient registry before the run when any
+   metrics sink was requested. *)
+let metrics_begin metrics trace_out =
+  if metrics <> None || trace_out <> None then begin
+    Mx_util.Metrics.reset Mx_util.Metrics.global;
+    Mx_util.Metrics.set_enabled Mx_util.Metrics.global true
+  end
+
+let metrics_end metrics trace_out =
+  if metrics <> None || trace_out <> None then begin
+    let m = Mx_util.Metrics.global in
+    Mx_sim.Cycle_sim.record_utilization_gauges ();
+    Option.iter
+      (fun path ->
+        (try
+           let oc = open_out path in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () -> output_string oc (Mx_util.Metrics.to_json m))
+         with Sys_error msg -> die_io "cannot write metrics trace: %s" msg);
+        Printf.printf "metrics trace written to %s\n" path)
+      trace_out;
+    (* the JSON document is the last thing on stdout, so scripts can
+       split it off the human-readable report above *)
+    match metrics with
+    | Some `Text ->
+      print_newline ();
+      print_string (Mx_util.Metrics.to_text m)
+    | Some `Json ->
+      print_newline ();
+      print_string (Mx_util.Metrics.to_json m)
+    | None -> ()
+  end
 
 (* -- profile ---------------------------------------------------------- *)
 
@@ -149,17 +227,22 @@ let scenario_arg =
   Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"KIND=V" ~doc)
 
 let parse_scenario s =
+  let bad () = die_usage "bad --scenario %S (power=X | cost=X | perf=X)" s in
+  let num v = match float_of_string_opt v with Some f -> f | None -> bad () in
   match String.split_on_char '=' s with
-  | [ "power"; v ] -> Conex.Scenario.Power_constrained (float_of_string v)
-  | [ "cost"; v ] -> Conex.Scenario.Cost_constrained (float_of_string v)
-  | [ "perf"; v ] -> Conex.Scenario.Perf_constrained (float_of_string v)
-  | _ ->
-    Printf.eprintf "bad --scenario %S (power=X | cost=X | perf=X)\n" s;
-    exit 2
+  | [ "power"; v ] -> Conex.Scenario.Power_constrained (num v)
+  | [ "cost"; v ] -> Conex.Scenario.Cost_constrained (num v)
+  | [ "perf"; v ] -> Conex.Scenario.Perf_constrained (num v)
+  | _ -> bad ()
 
 let explore_cmd =
-  let run name scale seed reduced jobs scenario plot trace_in csv bus_report =
+  let run name scale seed reduced jobs scenario plot trace_in csv bus_report
+      metrics trace_out =
+    (* validate cheap inputs before hours of exploration *)
+    let scenario = Option.map parse_scenario scenario in
+    if trace_in = None then check_workload_name name;
     let w = resolve_workload name scale seed trace_in in
+    metrics_begin metrics trace_out;
     let r = Conex.Explore.run ~config:(config_of_reduced reduced jobs) w in
     Printf.printf
       "%s: %d estimates -> %d simulations -> %d pareto designs (%.1fs)\n\n"
@@ -175,8 +258,7 @@ let explore_cmd =
     | None ->
       Conex.Report.print_designs ~title:"cost/performance pareto designs:"
         r.Conex.Explore.pareto_cost_perf
-    | Some s ->
-      let sc = parse_scenario s in
+    | Some sc ->
       Conex.Report.print_designs
         ~title:(Conex.Scenario.to_string sc ^ " designs:")
         (Conex.Scenario.select sc r.Conex.Explore.simulated));
@@ -217,7 +299,8 @@ let explore_cmd =
               ])
           stats;
         Mx_util.Table.print t
-    end
+    end;
+    metrics_end metrics trace_out
   in
   let plot_arg =
     Arg.(value & flag & info [ "plot" ] ~doc:"Print an ASCII scatter plot.")
@@ -239,13 +322,17 @@ let explore_cmd =
     (Cmd.info "explore" ~doc:"Full two-phase ConEx exploration")
     Term.(
       const run $ workload_arg $ scale_arg $ seed_arg $ reduced_arg $ jobs_arg
-      $ scenario_arg $ plot_arg $ trace_in_arg $ csv_arg $ bus_report_arg)
+      $ scenario_arg $ plot_arg $ trace_in_arg $ csv_arg $ bus_report_arg
+      $ metrics_arg $ trace_out_arg)
 
 (* -- select: re-select from a saved CSV ---------------------------------- *)
 
 let select_cmd =
   let run path scenario =
-    let ic = open_in path in
+    let sc = parse_scenario scenario in
+    let ic =
+      try open_in path with Sys_error msg -> die_io "cannot read CSV: %s" msg
+    in
     let rows =
       Fun.protect
         ~finally:(fun () -> close_in ic)
@@ -256,9 +343,7 @@ let select_cmd =
       |> List.filter (fun l -> String.trim l <> "")
     in
     match rows with
-    | [] | [ _ ] ->
-      Printf.eprintf "no data rows in %s\n" path;
-      exit 1
+    | [] | [ _ ] -> die_io "no data rows in %s" path
     | _header :: data ->
       (* parse CSV rows (quoted fields may contain commas) *)
       let parse_row line =
@@ -291,7 +376,6 @@ let select_cmd =
             | _ -> None)
           data
       in
-      let sc = parse_scenario scenario in
       let keep (_, c, l, e) =
         match sc with
         | Conex.Scenario.Power_constrained v -> e <= v
@@ -338,8 +422,10 @@ let select_cmd =
 (* -- strategies ---------------------------------------------------------- *)
 
 let strategies_cmd =
-  let run name scale seed jobs =
+  let run name scale seed jobs metrics trace_out =
+    check_workload_name name;
     let w = make_workload name ~scale ~seed in
+    metrics_begin metrics trace_out;
     let config = config_of_reduced true jobs in
     let full = Conex.Strategy.run ~config Conex.Strategy.Full w in
     List.iter
@@ -349,12 +435,15 @@ let strategies_cmd =
         Format.printf "%a@." Conex.Coverage.pp r)
       [ Conex.Strategy.Pruned; Conex.Strategy.Neighborhood ];
     let rf = Conex.Coverage.eval ~reference:full full in
-    Format.printf "%a@." Conex.Coverage.pp rf
+    Format.printf "%a@." Conex.Coverage.pp rf;
+    metrics_end metrics trace_out
   in
   Cmd.v
     (Cmd.info "strategies"
        ~doc:"Compare Pruned / Neighborhood / Full exploration strategies")
-    Term.(const run $ workload_arg $ scale_arg $ seed_arg $ jobs_arg)
+    Term.(
+      const run $ workload_arg $ scale_arg $ seed_arg $ jobs_arg $ metrics_arg
+      $ trace_out_arg)
 
 let main_cmd =
   let doc = "Memory system connectivity exploration (ConEx, DATE 2002)" in

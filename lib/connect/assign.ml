@@ -1,10 +1,26 @@
+module Metrics = Mx_util.Metrics
+
 let choices ~onchip ~offchip (cl : Cluster.t) =
   let pool = if cl.Cluster.offchip then offchip else onchip in
   List.filter (Conn_arch.feasible cl) pool
 
+(* Saturating product of the per-cluster choice counts: the size the
+   cartesian enumeration would have without the [max_designs] cap. *)
+let full_space per_cluster =
+  List.fold_left
+    (fun acc (_, cs) ->
+      let n = List.length cs in
+      if n = 0 then 0
+      else if acc > max_int / max 1 n then max_int
+      else acc * n)
+    1 per_cluster
+
 let enumerate ?(max_designs = max_int) ~onchip ~offchip clusters =
   let per_cluster = List.map (fun cl -> (cl, choices ~onchip ~offchip cl)) clusters in
-  if List.exists (fun (_, cs) -> cs = []) per_cluster then []
+  if List.exists (fun (_, cs) -> cs = []) per_cluster then begin
+    Metrics.incr Metrics.global "assign.infeasible_levels";
+    []
+  end
   else begin
     let out = ref [] and count = ref 0 in
     let rec go acc = function
@@ -17,21 +33,36 @@ let enumerate ?(max_designs = max_int) ~onchip ~offchip clusters =
         List.iter (fun c -> if !count < max_designs then go ((cl, c) :: acc) rest) cs
     in
     go [] per_cluster;
+    if Metrics.is_on Metrics.global then begin
+      Metrics.incr Metrics.global ~by:!count "assign.enumerated";
+      Metrics.incr Metrics.global
+        ~by:(max 0 (full_space per_cluster - !count))
+        "assign.cap_pruned"
+    end;
     List.rev !out
   end
 
 let enumerate_levels ?(order = Cluster.Lowest_bandwidth_first)
     ?(max_designs_per_level = max_int) ~onchip ~offchip channels =
   let seen = Hashtbl.create 64 in
-  Cluster.levels_ordered order channels
-  |> List.concat_map (fun level ->
-         enumerate ~max_designs:max_designs_per_level ~onchip ~offchip level)
-  |> List.filter (fun arch ->
-         let key = Conn_arch.describe arch in
-         if Hashtbl.mem seen key then false
-         else begin
-           Hashtbl.add seen key ();
-           true
-         end)
+  let levels = Cluster.levels_ordered order channels in
+  Metrics.incr Metrics.global ~by:(List.length levels) "assign.levels";
+  let kept =
+    levels
+    |> List.concat_map (fun level ->
+           enumerate ~max_designs:max_designs_per_level ~onchip ~offchip level)
+    |> List.filter (fun arch ->
+           let key = Conn_arch.describe arch in
+           if Hashtbl.mem seen key then begin
+             Metrics.incr Metrics.global "assign.dedup_pruned";
+             false
+           end
+           else begin
+             Hashtbl.add seen key ();
+             true
+           end)
+  in
+  Metrics.incr Metrics.global ~by:(List.length kept) "assign.kept";
+  kept
 
 let count_levels channels = List.length (Cluster.levels channels)

@@ -8,6 +8,7 @@ let initial channels = List.map of_channel channels
 let merge a b =
   if a.offchip <> b.offchip then
     invalid_arg "Cluster.merge: cannot mix on-chip and off-chip channels";
+  Mx_util.Metrics.incr Mx_util.Metrics.global "cluster.merges";
   {
     channels = a.channels @ b.channels;
     bandwidth = a.bandwidth +. b.bandwidth;
@@ -81,7 +82,11 @@ let levels_ordered order channels =
     | None -> List.rev (level :: acc)
     | Some next -> go next (level :: acc)
   in
-  go (initial channels) []
+  let ls = go (initial channels) [] in
+  Mx_util.Metrics.observe Mx_util.Metrics.global ~unit_:"levels"
+    "cluster.levels_per_brg"
+    (float_of_int (List.length ls));
+  ls
 
 let levels channels = levels_ordered Lowest_bandwidth_first channels
 

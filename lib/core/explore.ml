@@ -89,7 +89,16 @@ let thin_by_cost ~keep designs =
   end
 
 let local_promising cfg designs =
-  Mx_util.Pareto.front ~axes designs |> thin_by_cost ~keep:cfg.phase1_keep
+  let front = Mx_util.Pareto.front ~axes designs in
+  let kept = thin_by_cost ~keep:cfg.phase1_keep front in
+  if Mx_util.Metrics.is_on Mx_util.Metrics.global then begin
+    Mx_util.Metrics.observe Mx_util.Metrics.global ~unit_:"designs"
+      "explore.local_front_size"
+      (float_of_int (List.length front));
+    Mx_util.Metrics.incr Mx_util.Metrics.global ~by:(List.length kept)
+      "explore.phase1_kept"
+  end;
+  kept
 
 let simulate cfg workload (d : Design.t) =
   let sim =
@@ -99,49 +108,80 @@ let simulate cfg workload (d : Design.t) =
   Design.with_sim d sim
 
 let run ?(config = default_config) workload =
+  let metrics = Mx_util.Metrics.global in
+  Mx_util.Metrics.with_span metrics
+    ("explore.run:" ^ workload.Mx_trace.Workload.name)
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
-  let profile = Mx_trace.Profile.analyze workload in
-  let apex_selected = Mx_apex.Explore.select ~config:config.apex profile in
+  let apex_selected =
+    Mx_util.Metrics.with_span metrics "apex.select" (fun () ->
+        let profile = Mx_trace.Profile.analyze workload in
+        Mx_apex.Explore.select ~config:config.apex profile)
+  in
+  Mx_util.Metrics.incr metrics ~by:(List.length apex_selected)
+    "explore.architectures";
   (* Phase I: estimate the connectivity space of each selected memory
      architecture and keep the locally promising points.  The estimate
      fan-out inside [connectivity_exploration] runs on the task pool;
      the per-architecture loop stays serial so the pool is never asked
      to nest. *)
-  let per_arch =
-    List.map (connectivity_exploration config workload) apex_selected
+  let per_arch, survivors =
+    Mx_util.Metrics.with_span metrics "explore.phase1" (fun () ->
+        let per_arch =
+          List.map
+            (fun (cand : Mx_apex.Explore.candidate) ->
+              Mx_util.Metrics.with_span metrics
+                ("phase1:" ^ cand.Mx_apex.Explore.arch.Mx_mem.Mem_arch.label)
+                (fun () ->
+                  let ests =
+                    connectivity_exploration config workload cand
+                  in
+                  Mx_util.Metrics.incr metrics ~by:(List.length ests)
+                    "explore.estimates";
+                  ests))
+            apex_selected
+        in
+        (per_arch, List.concat_map (local_promising config) per_arch))
   in
   let estimated = List.concat per_arch in
-  let survivors = List.concat_map (local_promising config) per_arch in
   (* Phase II: simulation of the combined candidates (optionally
      time-sampled), then the global selection; with sampling enabled the
      most promising sampled designs are refined by exact simulation, as
      in the paper *)
   let simulated =
-    Mx_util.Task_pool.parallel_map ~jobs:config.jobs ~chunk:1
-      (simulate config workload) survivors
+    Mx_util.Metrics.with_span metrics "explore.phase2" (fun () ->
+        Mx_util.Metrics.incr metrics ~by:(List.length survivors)
+          "explore.simulations";
+        Mx_util.Task_pool.parallel_map ~jobs:config.jobs ~chunk:1
+          (simulate config workload) survivors)
   in
   let simulated =
     match config.sample with
     | Some _ when config.refine_top > 0 ->
-      let front =
-        Mx_util.Pareto.front2 ~x:Design.cost ~y:Design.latency simulated
-      in
-      let to_refine =
-        List.filteri (fun i _ -> i < config.refine_top) front
-      in
-      Mx_util.Task_pool.parallel_map ~jobs:config.jobs ~chunk:1
-        (fun d ->
-          if List.exists (Design.equal_structure d) to_refine then
-            Design.with_sim d
-              (Mx_sim.Cycle_sim.run ~workload ~arch:d.Design.mem
-                 ~conn:d.Design.conn ())
-          else d)
-        simulated
+      Mx_util.Metrics.with_span metrics "explore.refine" (fun () ->
+          let front =
+            Mx_util.Pareto.front2 ~x:Design.cost ~y:Design.latency simulated
+          in
+          let to_refine =
+            List.filteri (fun i _ -> i < config.refine_top) front
+          in
+          Mx_util.Metrics.incr metrics ~by:(List.length to_refine)
+            "explore.refined";
+          Mx_util.Task_pool.parallel_map ~jobs:config.jobs ~chunk:1
+            (fun d ->
+              if List.exists (Design.equal_structure d) to_refine then
+                Design.with_sim d
+                  (Mx_sim.Cycle_sim.run ~workload ~arch:d.Design.mem
+                     ~conn:d.Design.conn ())
+              else d)
+            simulated)
     | _ -> simulated
   in
   let pareto_cost_perf =
     Mx_util.Pareto.front2 ~x:Design.cost ~y:Design.latency simulated
   in
+  Mx_util.Metrics.incr metrics ~by:(List.length pareto_cost_perf)
+    "explore.pareto_points";
   {
     workload;
     apex_selected;

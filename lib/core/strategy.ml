@@ -57,6 +57,12 @@ let neighbors_of ~k selected all =
   |> List.rev
 
 let finish kind ~n_estimates ~t0 simulated =
+  let m = Mx_util.Metrics.global in
+  let label = String.lowercase_ascii (kind_to_string kind) in
+  Mx_util.Metrics.incr m ("strategy." ^ label ^ ".runs");
+  Mx_util.Metrics.incr m ~by:n_estimates ("strategy." ^ label ^ ".estimates");
+  Mx_util.Metrics.incr m ~by:(List.length simulated)
+    ("strategy." ^ label ^ ".simulations");
   {
     kind;
     designs = simulated;
@@ -69,6 +75,9 @@ let finish kind ~n_estimates ~t0 simulated =
 
 let run ?(config = Explore.default_config) ?(neighbors = 2)
     ?(full_budget = 300_000) kind workload =
+  Mx_util.Metrics.with_span Mx_util.Metrics.global
+    ("strategy." ^ String.lowercase_ascii (kind_to_string kind))
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
   match kind with
   | Pruned ->

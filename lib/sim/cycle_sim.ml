@@ -363,7 +363,49 @@ let run_traced ?sample ?(cpu = Blocking) ~workload ~arch ~conn () =
         })
       bindings
   in
+  (* One registry deposit per simulation, from whichever domain ran it:
+     the per-access loop above never touches the registry. *)
+  (if Mx_util.Metrics.is_on Mx_util.Metrics.global then begin
+     let m = Mx_util.Metrics.global in
+     Mx_util.Metrics.incr m "cycle_sim.runs";
+     Mx_util.Metrics.incr m ~by:n "cycle_sim.accesses";
+     Mx_util.Metrics.incr m ~by:!sampled_accesses "cycle_sim.sampled_accesses";
+     Mx_util.Metrics.incr m ~by:!total_wait "cycle_sim.stall_cycles";
+     Mx_util.Metrics.incr m ~by:total_cycles "cycle_sim.cycles";
+     Mx_util.Metrics.observe m ~unit_:"cycles" "cycle_sim.avg_mem_latency"
+       avg_lat;
+     List.iter
+       (fun (s : bus_stat) ->
+         let pre = "cycle_sim.bus." ^ s.component ^ "." in
+         Mx_util.Metrics.incr m ~by:s.txns (pre ^ "txns");
+         Mx_util.Metrics.incr m ~by:s.busy_cycles (pre ^ "busy_cycles");
+         Mx_util.Metrics.incr m ~by:s.wait_cycles (pre ^ "wait_cycles"))
+       stats
+   end);
   (result, stats)
 
 let run ?sample ?cpu ~workload ~arch ~conn () =
   fst (run_traced ?sample ?cpu ~workload ~arch ~conn ())
+
+let record_utilization_gauges ?(registry = Mx_util.Metrics.global) () =
+  let snap = Mx_util.Metrics.snapshot registry in
+  let cycles =
+    List.assoc_opt "cycle_sim.cycles" snap.Mx_util.Metrics.counters
+    |> Option.value ~default:0
+  in
+  if cycles > 0 then
+    List.iter
+      (fun (name, busy) ->
+        let pre = "cycle_sim.bus." and suf = ".busy_cycles" in
+        let pl = String.length pre and sl = String.length suf in
+        let l = String.length name in
+        if
+          l > pl + sl
+          && String.sub name 0 pl = pre
+          && String.sub name (l - sl) sl = suf
+        then
+          let comp = String.sub name pl (l - pl - sl) in
+          Mx_util.Metrics.set_gauge registry
+            ("cycle_sim.bus." ^ comp ^ ".utilization")
+            (float_of_int busy /. float_of_int cycles))
+      snap.Mx_util.Metrics.counters

@@ -62,3 +62,11 @@ val run_traced :
   Sim_result.t * bus_stat list
 (** {!run} plus the per-component utilisation breakdown (one entry per
     connectivity binding, in binding order). *)
+
+val record_utilization_gauges : ?registry:Mx_util.Metrics.t -> unit -> unit
+(** Derive [cycle_sim.bus.<component>.utilization] gauges (aggregate
+    busy cycles / total simulated cycles, per component type, across
+    every simulation recorded so far) from the registry's
+    [cycle_sim.bus.*] counters.  Deterministic because it is computed
+    from schedule-invariant counters; call it after a run, before
+    rendering.  Defaults to {!Mx_util.Metrics.global}. *)

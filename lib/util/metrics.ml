@@ -1,0 +1,281 @@
+(* Counters are atomics so any domain may bump them lock-free; gauges,
+   histograms and the finished-span forest live behind one registry
+   mutex (all updates there are coarse-grained — per run or per chunk,
+   never per access).  Span stacks are domain-local: nesting is only
+   meaningful within one domain, and a root finishing on any domain
+   merges into the shared forest under the mutex. *)
+
+type hist = {
+  h_unit : string;
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+}
+
+type span = { span_name : string; seconds : float; children : span list }
+
+(* A span being built: children accumulate in reverse. *)
+type open_span = {
+  o_name : string;
+  o_start : float;
+  mutable o_children : span list;
+}
+
+type t = {
+  on : bool Atomic.t;
+  mu : Mutex.t;
+  counters : (string, int Atomic.t) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  histograms : (string, hist) Hashtbl.t;
+  mutable roots : span list;  (* reversed *)
+  stack : open_span list ref Domain.DLS.key;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist) list;
+  spans : span list;
+}
+
+let create ?(enabled = false) () =
+  {
+    on = Atomic.make enabled;
+    mu = Mutex.create ();
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+    roots = [];
+    stack = Domain.DLS.new_key (fun () -> ref []);
+  }
+
+let global = create ()
+let set_enabled t b = Atomic.set t.on b
+let is_on t = Atomic.get t.on
+
+let reset t =
+  Mutex.lock t.mu;
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.histograms;
+  t.roots <- [];
+  Mutex.unlock t.mu
+
+(* -- recording ----------------------------------------------------------- *)
+
+let counter_cell t name =
+  Mutex.lock t.mu;
+  let c =
+    match Hashtbl.find_opt t.counters name with
+    | Some c -> c
+    | None ->
+      let c = Atomic.make 0 in
+      Hashtbl.add t.counters name c;
+      c
+  in
+  Mutex.unlock t.mu;
+  c
+
+let incr t ?(by = 1) name =
+  if Atomic.get t.on then ignore (Atomic.fetch_and_add (counter_cell t name) by)
+
+let set_gauge t name v =
+  if Atomic.get t.on then begin
+    Mutex.lock t.mu;
+    Hashtbl.replace t.gauges name v;
+    Mutex.unlock t.mu
+  end
+
+let observe t ?(unit_ = "") name v =
+  if Atomic.get t.on then begin
+    Mutex.lock t.mu;
+    let h =
+      match Hashtbl.find_opt t.histograms name with
+      | Some h -> h
+      | None ->
+        { h_unit = unit_; count = 0; sum = 0.0; min_v = infinity;
+          max_v = neg_infinity }
+    in
+    Hashtbl.replace t.histograms name
+      {
+        h with
+        count = h.count + 1;
+        sum = h.sum +. v;
+        min_v = Float.min h.min_v v;
+        max_v = Float.max h.max_v v;
+      };
+    Mutex.unlock t.mu
+  end
+
+let with_span t name f =
+  if not (Atomic.get t.on) then f ()
+  else begin
+    let stack = Domain.DLS.get t.stack in
+    let sp = { o_name = name; o_start = Unix.gettimeofday (); o_children = [] } in
+    stack := sp :: !stack;
+    let finish () =
+      let closed =
+        {
+          span_name = sp.o_name;
+          seconds = Unix.gettimeofday () -. sp.o_start;
+          children = List.rev sp.o_children;
+        }
+      in
+      (* pop back down to [sp] even if an inner span leaked open *)
+      let rec pop = function
+        | top :: rest when top == sp -> rest
+        | _ :: rest -> pop rest
+        | [] -> []
+      in
+      stack := pop !stack;
+      match !stack with
+      | parent :: _ -> parent.o_children <- closed :: parent.o_children
+      | [] ->
+        Mutex.lock t.mu;
+        t.roots <- closed :: t.roots;
+        Mutex.unlock t.mu
+    in
+    Fun.protect ~finally:finish f
+  end
+
+(* -- reading ------------------------------------------------------------- *)
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot t =
+  Mutex.lock t.mu;
+  let s =
+    {
+      counters = sorted_bindings t.counters Atomic.get;
+      gauges = sorted_bindings t.gauges Fun.id;
+      histograms = sorted_bindings t.histograms Fun.id;
+      spans = List.rev t.roots;
+    }
+  in
+  Mutex.unlock t.mu;
+  s
+
+let counter_value t name =
+  Mutex.lock t.mu;
+  let v =
+    match Hashtbl.find_opt t.counters name with
+    | Some c -> Atomic.get c
+    | None -> 0
+  in
+  Mutex.unlock t.mu;
+  v
+
+(* Does [name] contain a "sched." segment (at the start or after a dot)? *)
+let is_sched name =
+  let needle = "sched." in
+  let nl = String.length needle and l = String.length name in
+  let rec go i =
+    if i + nl > l then false
+    else if
+      String.sub name i nl = needle && (i = 0 || name.[i - 1] = '.')
+    then true
+    else go (i + 1)
+  in
+  go 0
+
+let deterministic_counters (s : snapshot) =
+  List.filter (fun (name, _) -> not (is_sched name)) s.counters
+
+(* -- rendering ----------------------------------------------------------- *)
+
+let hist_mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+let to_text t =
+  let s = snapshot t in
+  let b = Buffer.create 1024 in
+  let section name = function
+    | [] -> ()
+    | rows ->
+      Buffer.add_string b (name ^ ":\n");
+      List.iter (fun r -> Buffer.add_string b ("  " ^ r ^ "\n")) rows
+  in
+  section "counters"
+    (List.map (fun (k, v) -> Printf.sprintf "%-46s %d" k v) s.counters);
+  section "gauges"
+    (List.map (fun (k, v) -> Printf.sprintf "%-46s %.6g" k v) s.gauges);
+  section "histograms"
+    (List.map
+       (fun (k, h) ->
+         Printf.sprintf "%-46s n=%d sum=%.6g min=%.6g max=%.6g mean=%.6g %s" k
+           h.count h.sum
+           (if h.count = 0 then 0.0 else h.min_v)
+           (if h.count = 0 then 0.0 else h.max_v)
+           (hist_mean h) h.h_unit)
+       s.histograms);
+  (if s.spans <> [] then begin
+     Buffer.add_string b "spans:\n";
+     let rec render indent (sp : span) =
+       Buffer.add_string b
+         (Printf.sprintf "%s%-*s %.4fs\n" indent
+            (max 1 (48 - String.length indent))
+            sp.span_name sp.seconds);
+       List.iter (render (indent ^ "  ")) sp.children
+     in
+     List.iter (render "  ") s.spans
+   end);
+  Buffer.contents b
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+
+let to_json t =
+  let s = snapshot t in
+  let b = Buffer.create 2048 in
+  let obj name rows render =
+    Buffer.add_string b (Printf.sprintf "  \"%s\": {" name);
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\n    \"%s\": %s" (escape k) (render v)))
+      rows;
+    Buffer.add_string b (if rows = [] then "}" else "\n  }")
+  in
+  Buffer.add_string b "{\n";
+  obj "counters" s.counters string_of_int;
+  Buffer.add_string b ",\n";
+  obj "gauges" s.gauges json_float;
+  Buffer.add_string b ",\n";
+  obj "histograms" s.histograms (fun h ->
+      Printf.sprintf
+        "{\"unit\": \"%s\", \"count\": %d, \"sum\": %s, \"min\": %s, \"max\": \
+         %s, \"mean\": %s}"
+        (escape h.h_unit) h.count (json_float h.sum)
+        (json_float (if h.count = 0 then 0.0 else h.min_v))
+        (json_float (if h.count = 0 then 0.0 else h.max_v))
+        (json_float (hist_mean h)));
+  Buffer.add_string b ",\n  \"spans\": [";
+  let rec span_json (sp : span) =
+    Printf.sprintf "{\"name\": \"%s\", \"seconds\": %s, \"children\": [%s]}"
+      (escape sp.span_name) (json_float sp.seconds)
+      (String.concat ", " (List.map span_json sp.children))
+  in
+  List.iteri
+    (fun i sp ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b ("\n    " ^ span_json sp))
+    s.spans;
+  Buffer.add_string b (if s.spans = [] then "]\n" else "\n  ]\n");
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,110 @@
+(** Observability: counters, gauges, histograms and timed span trees.
+
+    Every layer of the exploration stack reports into a {e registry} —
+    normally the ambient {!global} one — which renders to human text
+    ({!to_text}) or machine JSON ({!to_json}).  The registry is
+    disabled by default: every recording operation first reads one
+    atomic flag and returns, so instrumentation left in hot paths is
+    near-free until someone opts in ([conex explore --metrics ...],
+    [--trace-out], or the bench harness).
+
+    {b Domain safety.}  All primitives may be called concurrently from
+    any domain: counters are atomics, gauges and histograms update
+    under the registry mutex, and spans nest per-domain (each domain
+    owns its span stack; finished root spans merge into the registry).
+
+    {b Determinism contract.}  Metric names containing the [sched.]
+    segment (e.g. [task_pool.sched.dispatched]) are allowed to depend
+    on scheduling — how work was split across domains, who ran what,
+    elapsed time.  Every other counter must be {e schedule-invariant}:
+    a serial ([jobs=1]) and a parallel ([jobs=N]) run of the same
+    exploration must report identical values.  {!deterministic_counters}
+    selects exactly that comparable subset; the test suite enforces the
+    contract. *)
+
+type t
+(** A metrics registry. *)
+
+val create : ?enabled:bool -> unit -> t
+(** Fresh registry, disabled unless [enabled:true]. *)
+
+val global : t
+(** The ambient registry all built-in instrumentation reports to.
+    Disabled at program start. *)
+
+val set_enabled : t -> bool -> unit
+val is_on : t -> bool
+
+val reset : t -> unit
+(** Drop every recorded metric and finished span (the enabled flag is
+    left as is).  Call between runs that must be compared. *)
+
+(** {1 Recording} — all no-ops while the registry is disabled. *)
+
+val incr : t -> ?by:int -> string -> unit
+(** Add [by] (default 1) to the named counter, creating it at 0. *)
+
+val set_gauge : t -> string -> float -> unit
+(** Set the named gauge (last write wins). *)
+
+val observe : t -> ?unit_:string -> string -> float -> unit
+(** Record one sample into the named histogram (count/sum/min/max).
+    [unit_] labels the sample dimension, e.g. ["s"], ["cycles"],
+    ["designs"]; it is fixed by the first observation. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] times [f ()] as a span.  Spans opened while
+    another span is running {e on the same domain} become its children,
+    forming a trace tree; a span with no parent is a root of the
+    registry's trace forest.  The span is closed (and recorded) even
+    when [f] raises. *)
+
+(** {1 Reading} *)
+
+type hist = {
+  h_unit : string;
+  count : int;
+  sum : float;
+  min_v : float;  (** +inf when [count = 0] *)
+  max_v : float;  (** -inf when [count = 0] *)
+}
+
+type span = {
+  span_name : string;
+  seconds : float;  (** wall-clock duration *)
+  children : span list;  (** in open order *)
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;  (** sorted by name *)
+  histograms : (string * hist) list;  (** sorted by name *)
+  spans : span list;  (** roots, in completion order *)
+}
+
+val snapshot : t -> snapshot
+(** Consistent copy of everything recorded so far.  Spans still open at
+    snapshot time are not included. *)
+
+val counter_value : t -> string -> int
+(** Current value of a counter; 0 when it was never incremented. *)
+
+val deterministic_counters : snapshot -> (string * int) list
+(** The counters whose names contain no [sched.] segment — the subset
+    required to be identical between serial and parallel runs. *)
+
+val to_text : t -> string
+(** Human-readable rendering: counters, gauges, histograms, then the
+    span forest indented two spaces per level. *)
+
+val to_json : t -> string
+(** One JSON object:
+    {v
+    { "counters":   {"name": int, ...},
+      "gauges":     {"name": float, ...},
+      "histograms": {"name": {"unit": s, "count": n, "sum": x,
+                              "min": x, "max": x, "mean": x}, ...},
+      "spans":      [{"name": s, "seconds": x, "children": [...]}, ...] }
+    v}
+    Keys are sorted; floats are finite decimals (inf/nan render as
+    [null]); the document ends with a newline. *)

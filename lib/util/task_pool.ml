@@ -58,9 +58,19 @@ let ensure_workers n =
     workers := Domain.spawn worker_loop :: !workers
   done
 
+(* Items and calls are schedule-invariant; everything about how the
+   work was split or who ran it lives under the sched. namespace (see
+   the Metrics determinism contract). *)
+let note_call xs =
+  if Metrics.is_on Metrics.global then begin
+    Metrics.incr Metrics.global "task_pool.calls";
+    Metrics.incr Metrics.global ~by:(List.length xs) "task_pool.items"
+  end
+
 let parallel_map ~jobs ~chunk f xs =
   if jobs < 0 then invalid_arg "Task_pool.parallel_map: jobs < 0";
   let chunk = max 1 chunk in
+  note_call xs;
   match xs with
   | [] -> []
   | [ x ] -> [ f x ]
@@ -76,6 +86,8 @@ let parallel_map ~jobs ~chunk f xs =
     let run_chunk ci =
       let lo = ci * chunk in
       let hi = min n (lo + chunk) - 1 in
+      let traced = Metrics.is_on Metrics.global in
+      let t0 = if traced then Unix.gettimeofday () else 0.0 in
       let r =
         try
           (* explicit left-to-right order within the chunk *)
@@ -85,12 +97,22 @@ let parallel_map ~jobs ~chunk f xs =
           Ok (go lo [])
         with e -> Error e
       in
+      if traced then
+        (* per-domain busy time: which domain ran the chunk is a
+           scheduling artifact, hence sched. *)
+        Metrics.observe Metrics.global ~unit_:"s"
+          (Printf.sprintf "task_pool.sched.domain_busy_s.%d"
+             (Domain.self () :> int))
+          (Unix.gettimeofday () -. t0);
       Mutex.lock mutex;
       results.(ci) <- Some r;
       decr remaining;
       if !remaining = 0 then Condition.broadcast cond;
       Mutex.unlock mutex
     in
+    if Metrics.is_on Metrics.global then
+      Metrics.incr Metrics.global ~by:(nchunks - 1)
+        "task_pool.sched.dispatched_chunks";
     Mutex.lock mutex;
     ensure_workers (min (jobs - 1) (nchunks - 1));
     for ci = nchunks - 1 downto 1 do

@@ -8,6 +8,25 @@ module Synthetic = Mx_trace.Synthetic
 
 let seed = 1234
 
+(* Parallel arm of serial-vs-parallel comparisons; CI overrides it to
+   exercise a different domain count (MEMOREX_TEST_JOBS=2). *)
+let test_jobs =
+  match Option.bind (Sys.getenv_opt "MEMOREX_TEST_JOBS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> 4
+
+(* Run [f] with the ambient metrics registry enabled and clean, then
+   disable and clear it again so no other suite sees leftovers. *)
+let with_global_metrics f =
+  let m = Mx_util.Metrics.global in
+  Mx_util.Metrics.reset m;
+  Mx_util.Metrics.set_enabled m true;
+  Fun.protect
+    ~finally:(fun () ->
+      Mx_util.Metrics.set_enabled m false;
+      Mx_util.Metrics.reset m)
+    f
+
 let tiny_cache =
   { Params.c_size = 1024; c_line = 16; c_assoc = 2; c_latency = 1 }
 

@@ -1,0 +1,181 @@
+(* End-to-end CLI tests: exit-code conventions (0 ok, 1 I/O error,
+   2 usage error, never cmdliner's 125 "internal error") and the
+   --metrics/--trace-out observability outputs.
+
+   The conex binary path arrives via CONEX_BIN, set by the dune test
+   action.  When the variable is absent (e.g. running the raw test
+   executable by hand) every case skips instead of failing. *)
+
+let conex_bin = Sys.getenv_opt "CONEX_BIN"
+
+let run_conex args =
+  match conex_bin with
+  | None -> Alcotest.skip ()
+  | Some bin ->
+    let out = Filename.temp_file "conex_out" ".txt" in
+    let err = Filename.temp_file "conex_err" ".txt" in
+    let cmd =
+      Printf.sprintf "%s %s >%s 2>%s" (Filename.quote bin)
+        (String.concat " " (List.map Filename.quote args))
+        (Filename.quote out) (Filename.quote err)
+    in
+    let code = Sys.command cmd in
+    let slurp path =
+      let ic = open_in_bin path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Sys.remove path;
+      s
+    in
+    (code, slurp out, slurp err)
+
+let check_exit msg expected (code, _out, err) =
+  if code <> expected then
+    Alcotest.failf "%s: expected exit %d, got %d (stderr: %s)" msg expected
+      code (String.trim err)
+
+let check_no_internal_error (_code, _out, err) =
+  Helpers.check_true "no cmdliner internal-error report"
+    (not (Test_metrics.contains ~needle:"internal error" err))
+
+(* fast arguments: tiny trace, reduced catalogue, serial *)
+let fast = [ "--reduced"; "--scale"; "1500"; "--jobs"; "1" ]
+
+let test_explore_ok () =
+  let r = run_conex ([ "explore"; "-w"; "mixed" ] @ fast) in
+  check_exit "valid explore" 0 r
+
+let test_unknown_workload () =
+  let ((_, _, err) as r) = run_conex ([ "explore"; "-w"; "nosuch" ] @ fast) in
+  check_exit "unknown workload" 2 r;
+  Helpers.check_true "stderr names the workload"
+    (Test_metrics.contains ~needle:"nosuch" err);
+  check_no_internal_error r
+
+let test_bad_scenario () =
+  (* the scenario is validated eagerly: a huge --scale must not matter *)
+  let r =
+    run_conex
+      [ "explore"; "-w"; "mixed"; "--reduced"; "--scale"; "100000000";
+        "--scenario"; "power=abc" ]
+  in
+  check_exit "malformed scenario value" 2 r;
+  check_no_internal_error r
+
+let test_bad_scenario_kind () =
+  let r =
+    run_conex ([ "explore"; "-w"; "mixed"; "--scenario"; "speed=3" ] @ fast)
+  in
+  check_exit "unknown scenario kind" 2 r;
+  check_no_internal_error r
+
+let test_missing_trace_file () =
+  let ((_, _, err) as r) =
+    run_conex [ "explore"; "--trace"; "/nonexistent/conex-test.trace" ]
+  in
+  check_exit "missing trace file is an I/O error" 1 r;
+  Helpers.check_true "clean diagnostic on stderr"
+    (Test_metrics.contains ~needle:"cannot load trace" err);
+  check_no_internal_error r
+
+let test_select_missing_csv () =
+  let r =
+    run_conex
+      [ "select"; "--csv"; "/nonexistent/conex-test.csv"; "--scenario";
+        "cost=10000" ]
+  in
+  check_exit "missing CSV is an I/O error" 1 r;
+  check_no_internal_error r
+
+let test_metrics_json_on_stdout () =
+  let ((_, out, _) as r) =
+    run_conex ([ "explore"; "-w"; "mixed"; "--metrics"; "json" ] @ fast)
+  in
+  check_exit "explore --metrics json" 0 r;
+  (* the JSON document is the last thing on stdout: split it off at the
+     final line that is exactly "{" *)
+  let lines = String.split_on_char '\n' out in
+  let start =
+    List.fold_left
+      (fun (i, found) l -> (i + 1, if l = "{" then i else found))
+      (0, -1) lines
+    |> snd
+  in
+  Helpers.check_true "a JSON object starts on its own line" (start >= 0);
+  let doc =
+    String.concat "\n" (List.filteri (fun i _ -> i >= start) lines)
+  in
+  Test_metrics.check_json "--metrics json document" doc;
+  List.iter
+    (fun needle ->
+      Helpers.check_true
+        (Printf.sprintf "metrics mention %s" needle)
+        (Test_metrics.contains ~needle doc))
+    [
+      "explore.estimates"; "explore.simulations"; "cycle_sim.accesses";
+      "utilization"; "\"spans\""; "explore.run:mixed";
+    ]
+
+let test_trace_out_file () =
+  let path = Filename.temp_file "conex_trace" ".json" in
+  let r =
+    run_conex ([ "explore"; "-w"; "mixed"; "--trace-out"; path ] @ fast)
+  in
+  check_exit "explore --trace-out" 0 r;
+  let ic = open_in_bin path in
+  let doc =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove path;
+  Test_metrics.check_json "--trace-out document" doc;
+  Helpers.check_true "trace has the span forest"
+    (Test_metrics.contains ~needle:"\"spans\"" doc)
+
+let test_trace_out_unwritable () =
+  let r =
+    run_conex
+      ([ "explore"; "-w"; "mixed"; "--trace-out"; "/nonexistent/dir/t.json" ]
+      @ fast)
+  in
+  check_exit "unwritable trace path is an I/O error" 1 r;
+  check_no_internal_error r
+
+let test_strategies_metrics () =
+  let ((_, out, _) as r) =
+    run_conex
+      [ "strategies"; "-w"; "mixed"; "--scale"; "1500"; "--jobs"; "1";
+        "--metrics"; "text" ]
+  in
+  check_exit "strategies --metrics text" 0 r;
+  List.iter
+    (fun needle ->
+      Helpers.check_true
+        (Printf.sprintf "report mentions %s" needle)
+        (Test_metrics.contains ~needle out))
+    [ "strategy.pruned"; "strategy.full"; "strategy.neighborhood" ]
+
+let suite =
+  ( "cli",
+    [
+      Alcotest.test_case "explore exits 0" `Slow test_explore_ok;
+      Alcotest.test_case "unknown workload exits 2" `Quick
+        test_unknown_workload;
+      Alcotest.test_case "bad scenario exits 2 (eagerly)" `Quick
+        test_bad_scenario;
+      Alcotest.test_case "bad scenario kind exits 2" `Quick
+        test_bad_scenario_kind;
+      Alcotest.test_case "missing trace exits 1" `Quick
+        test_missing_trace_file;
+      Alcotest.test_case "select missing csv exits 1" `Quick
+        test_select_missing_csv;
+      Alcotest.test_case "--metrics json" `Slow test_metrics_json_on_stdout;
+      Alcotest.test_case "--trace-out" `Slow test_trace_out_file;
+      Alcotest.test_case "--trace-out unwritable" `Slow
+        test_trace_out_unwritable;
+      Alcotest.test_case "strategies --metrics" `Slow test_strategies_metrics;
+    ] )

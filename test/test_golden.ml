@@ -1,0 +1,56 @@
+(* Golden regression pins for the exploration funnel: number of Phase I
+   estimates, Phase II simulations, and global pareto-front size per
+   kernel workload on the reduced catalogue.
+
+   These values are exact and deterministic (fixed seed, fixed
+   catalogue, and Explore.run is bit-identical at every jobs level).
+   They WILL move when the estimator, the catalogues, the clustering or
+   the synthesis change — that is the point: a diff here means the
+   funnel shape changed, and the new values must be re-pinned
+   deliberately, with the change explained in the PR. *)
+
+module Explore = Conex.Explore
+
+let scale = 4000
+let seed = 7
+
+let config =
+  {
+    Explore.reduced_config with
+    Explore.apex =
+      { Mx_apex.Explore.reduced_config with Mx_apex.Explore.max_selected = 3 };
+    jobs = 1;
+  }
+
+(* name, generator, (n_estimates, n_simulations, pareto front size) *)
+let pins =
+  [
+    ("compress", Mx_trace.Kern_compress.generate, (112, 26, 9));
+    ("vocoder", Mx_trace.Kern_vocoder.generate, (204, 27, 5));
+    ("dijkstra", Mx_trace.Kern_graph.generate, (40, 15, 9));
+  ]
+
+let check_pin (name, gen, (est, sim, front)) () =
+  let w = gen ~scale ~seed in
+  let r = Explore.run ~config w in
+  Helpers.check_int (name ^ ": n_estimates") est r.Explore.n_estimates;
+  Helpers.check_int (name ^ ": n_simulations") sim r.Explore.n_simulations;
+  Helpers.check_int (name ^ ": pareto front size") front
+    (List.length r.Explore.pareto_cost_perf);
+  (* internal consistency, independent of the pinned values *)
+  Helpers.check_int "estimated list matches the counter"
+    r.Explore.n_estimates
+    (List.length r.Explore.estimated);
+  Helpers.check_int "simulated list matches the counter"
+    r.Explore.n_simulations
+    (List.length r.Explore.simulated);
+  Helpers.check_true "funnel narrows"
+    (r.Explore.n_estimates >= r.Explore.n_simulations
+    && r.Explore.n_simulations >= List.length r.Explore.pareto_cost_perf)
+
+let suite =
+  ( "golden",
+    List.map
+      (fun ((name, _, _) as pin) ->
+        Alcotest.test_case ("funnel: " ^ name) `Slow (check_pin pin))
+      pins )

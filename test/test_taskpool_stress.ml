@@ -1,0 +1,128 @@
+(* Task_pool stress and edge cases beyond the semantics covered in
+   test_parallel.ml: long-lived pool reuse, failures in the last chunk,
+   more jobs than items, and the schedule-invariance of the pool's own
+   metrics counters. *)
+
+module Task_pool = Mx_util.Task_pool
+module Metrics = Mx_util.Metrics
+
+exception Boom of int
+
+let test_pool_reuse_many_calls () =
+  (* warm the pool to its maximum size, then hammer it: the pool must
+     neither grow nor lose workers across many mixed-jobs calls *)
+  ignore (Task_pool.parallel_map ~jobs:4 ~chunk:1 succ (List.init 32 Fun.id));
+  let size = Task_pool.pool_size () in
+  for round = 1 to 50 do
+    let jobs = 1 + (round mod 4) in
+    let xs = List.init (17 + round) Fun.id in
+    let expect = List.map (fun x -> x * 3) xs in
+    Helpers.check_true
+      (Printf.sprintf "round %d correct" round)
+      (Task_pool.parallel_map ~jobs ~chunk:3 (fun x -> x * 3) xs = expect)
+  done;
+  Helpers.check_int "pool size stable over 50 calls" size
+    (Task_pool.pool_size ())
+
+let test_exception_in_last_job () =
+  (* the failing element sits in the very last chunk, which is executed
+     after every other chunk completed: the drain logic must still
+     collect and re-raise it *)
+  let xs = List.init 9 Fun.id in
+  Helpers.check_true "failure in final chunk re-raised"
+    (try
+       ignore
+         (Task_pool.parallel_map ~jobs:4 ~chunk:1
+            (fun x -> if x = 8 then raise (Boom x) else x)
+            xs);
+       false
+     with Boom 8 -> true)
+
+let test_exception_in_last_partial_chunk () =
+  (* 10 items, chunk 4: chunks are [0..3][4..7][8..9]; fail on 9, the
+     last element of the final, partial chunk *)
+  let xs = List.init 10 Fun.id in
+  Helpers.check_true "failure in partial tail chunk re-raised"
+    (try
+       ignore
+         (Task_pool.parallel_map ~jobs:3 ~chunk:4
+            (fun x -> if x = 9 then raise (Boom x) else x)
+            xs);
+       false
+     with Boom 9 -> true)
+
+let test_jobs_exceed_items () =
+  let r = Task_pool.parallel_map ~jobs:16 ~chunk:1 succ [ 10; 20; 30 ] in
+  Helpers.check_true "more jobs than items" (r = [ 11; 21; 31 ])
+
+let test_jobs_exceed_items_with_exception () =
+  Helpers.check_true "exception with jobs >> items"
+    (try
+       ignore
+         (Task_pool.parallel_map ~jobs:16 ~chunk:1
+            (fun x -> if x = 30 then raise (Boom x) else x)
+            [ 10; 20; 30 ]);
+       false
+     with Boom 30 -> true)
+
+let test_usable_after_exception () =
+  (try
+     ignore
+       (Task_pool.parallel_map ~jobs:4 ~chunk:1
+          (fun x -> if x mod 2 = 0 then raise (Boom x) else x)
+          (List.init 20 Fun.id))
+   with Boom _ -> ());
+  let xs = List.init 100 Fun.id in
+  Helpers.check_true "pool still healthy after a failed map"
+    (Task_pool.parallel_map ~jobs:4 ~chunk:7 succ xs = List.map succ xs)
+
+(* -- metrics counters ------------------------------------------------------ *)
+
+let count_with jobs =
+  Helpers.with_global_metrics (fun () ->
+      ignore
+        (Task_pool.parallel_map ~jobs ~chunk:3
+           (fun x -> x * x)
+           (List.init 50 Fun.id));
+      let snap = Metrics.snapshot Metrics.global in
+      ( Metrics.deterministic_counters snap,
+        Metrics.counter_value Metrics.global "task_pool.sched.dispatched_chunks"
+      ))
+
+let test_counters_schedule_invariant () =
+  let det1, disp1 = count_with 1 in
+  let det4, disp4 = count_with 4 in
+  Helpers.check_true "calls/items identical at jobs=1 and jobs=4" (det1 = det4);
+  Helpers.check_true "calls and items both present"
+    (List.mem_assoc "task_pool.calls" det1
+    && List.assoc "task_pool.items" det1 = 50);
+  (* the sched. namespace is where the difference is allowed to live *)
+  Helpers.check_int "serial run dispatches nothing to the pool" 0 disp1;
+  Helpers.check_true "parallel run dispatched chunks" (disp4 > 0)
+
+let test_disabled_registry_counts_nothing () =
+  Metrics.reset Metrics.global;
+  ignore
+    (Task_pool.parallel_map ~jobs:4 ~chunk:1 succ (List.init 20 Fun.id));
+  Helpers.check_int "no counting while disabled" 0
+    (Metrics.counter_value Metrics.global "task_pool.calls")
+
+let suite =
+  ( "task_pool stress",
+    [
+      Alcotest.test_case "pool reuse over many calls" `Quick
+        test_pool_reuse_many_calls;
+      Alcotest.test_case "exception in last job" `Quick
+        test_exception_in_last_job;
+      Alcotest.test_case "exception in last partial chunk" `Quick
+        test_exception_in_last_partial_chunk;
+      Alcotest.test_case "jobs exceed items" `Quick test_jobs_exceed_items;
+      Alcotest.test_case "jobs exceed items + exception" `Quick
+        test_jobs_exceed_items_with_exception;
+      Alcotest.test_case "usable after exception" `Quick
+        test_usable_after_exception;
+      Alcotest.test_case "counters schedule-invariant" `Quick
+        test_counters_schedule_invariant;
+      Alcotest.test_case "disabled registry is silent" `Quick
+        test_disabled_registry_counts_nothing;
+    ] )
