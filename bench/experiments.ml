@@ -20,7 +20,12 @@ let table2_scale = 12_000
    CLI (--jobs) before any experiment runs. *)
 let jobs = ref (Mx_util.Task_pool.default_jobs ())
 
+(* Failed CHECKs are counted so the harness can exit non-zero: CI runs
+   individual experiments (e.g. `cache`) as assertions, not just smoke. *)
+let failures = ref 0
+
 let check name ok =
+  if not ok then incr failures;
   Printf.printf "CHECK %-58s %s\n" name (if ok then "PASS" else "FAIL")
 
 let workloads =
@@ -321,9 +326,11 @@ let table2 () =
   let bench name gen =
     let w = gen ~scale:table2_scale ~seed:7 in
     let config = { table2_config with Explore.jobs = !jobs } in
+    let cs0 = Mx_sim.Eval.cache_stats () in
     let full = Strategy.run ~config Strategy.Full w in
     let pruned = Strategy.run ~config Strategy.Pruned w in
     let nbhd = Strategy.run ~config Strategy.Neighborhood w in
+    let cs1 = Mx_sim.Eval.cache_stats () in
     let paper = List.assoc name Paper_data.table2 in
     Printf.printf "\n--- %s ---\n" name;
     let t =
@@ -359,6 +366,10 @@ let table2 () =
     Table.print t;
     check (name ^ ": Pruned is much cheaper than Full (<= 1/3 the sims)")
       (pruned.Strategy.n_simulations * 3 <= full.Strategy.n_simulations);
+    (* Pruned and Neighborhood revisit designs Full already simulated:
+       the evaluation cache must be serving them *)
+    check (name ^ ": strategies reuse cached evaluations (hits > 0)")
+      (cs1.Mx_util.Memo_cache.hits > cs0.Mx_util.Memo_cache.hits);
     check (name ^ ": Full achieves 100% coverage of itself")
       (rf.Coverage.coverage_pct = 100.0);
     check (name ^ ": Neighborhood coverage >= Pruned coverage")
@@ -403,9 +414,50 @@ let table2 () =
     (pruned.Strategy.n_simulations > 0);
   print_newline ()
 
+(* -- evaluation-cache effectiveness: cold vs warm exploration -------------- *)
+
+let cache () =
+  print_endline "==================================================================";
+  print_endline "Evaluation result cache -- cold vs warm exploration (compress)";
+  print_endline
+    "  the same exploration twice in one process: the repeat must be served";
+  print_endline
+    "  from the content-addressed cache and reproduce the cold run exactly";
+  print_endline "==================================================================";
+  let w = Mx_trace.Kern_compress.generate ~scale:table2_scale ~seed:7 in
+  let config = { Explore.reduced_config with Explore.jobs = !jobs } in
+  (* a fresh cache so earlier experiments cannot pre-warm the cold arm *)
+  Mx_sim.Eval.set_cache_capacity Mx_sim.Eval.default_cache_capacity;
+  let s0 = Mx_sim.Eval.cache_stats () in
+  let cold = Explore.run ~config w in
+  let warm = Explore.run ~config w in
+  let s1 = Mx_sim.Eval.cache_stats () in
+  let hits = s1.Mx_util.Memo_cache.hits - s0.Mx_util.Memo_cache.hits
+  and misses = s1.Mx_util.Memo_cache.misses - s0.Mx_util.Memo_cache.misses in
+  Json_out.record_experiment ~name:"cache:cold"
+    ~wall_seconds:cold.Explore.wall_seconds ~n_estimates:cold.Explore.n_estimates
+    ~n_simulations:cold.Explore.n_simulations;
+  Json_out.record_experiment ~name:"cache:warm"
+    ~wall_seconds:warm.Explore.wall_seconds ~n_estimates:warm.Explore.n_estimates
+    ~n_simulations:warm.Explore.n_simulations;
+  Printf.printf
+    "cold: %.2fs    warm: %.2fs    speedup %.1fx    cache: %d hits / %d misses\n"
+    cold.Explore.wall_seconds warm.Explore.wall_seconds
+    (cold.Explore.wall_seconds /. Float.max 1e-9 warm.Explore.wall_seconds)
+    hits misses;
+  check "warm run reproduces the cold run exactly"
+    (cold.Explore.estimated = warm.Explore.estimated
+    && cold.Explore.simulated = warm.Explore.simulated
+    && cold.Explore.pareto_cost_perf = warm.Explore.pareto_cost_perf);
+  check "warm run was served from the cache (hits > 0)" (hits > 0);
+  check "warm run is measurably faster (<= 0.8x cold wall time)"
+    (warm.Explore.wall_seconds <= 0.8 *. cold.Explore.wall_seconds);
+  print_newline ()
+
 let all () =
   fig3 ();
   fig4 ();
   fig6 ();
   table1 ();
-  table2 ()
+  table2 ();
+  cache ()

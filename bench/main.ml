@@ -10,7 +10,8 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [fig3|fig4|fig6|table1|table2|ablation|micro|scaling|all]\n\
+    "usage: main.exe \
+     [fig3|fig4|fig6|table1|table2|cache|ablation|micro|scaling|all]\n\
     \       [--jobs N] [--json PATH]";
   exit 2
 
@@ -41,6 +42,7 @@ let () =
   | "fig6" -> Experiments.fig6 ()
   | "table1" -> Experiments.table1 ()
   | "table2" -> Experiments.table2 ()
+  | "cache" -> Experiments.cache ()
   | "ablation" -> Ablation.all ()
   | "micro" -> Micro.run ()
   | "scaling" -> Micro.scaling ()
@@ -50,4 +52,7 @@ let () =
     Micro.scaling ();
     Micro.run ()
   | _ -> usage ());
-  Option.iter (fun path -> Json_out.write ~path) !json
+  Option.iter (fun path -> Json_out.write ~path) !json;
+  if !Experiments.failures > 0 then (
+    Printf.printf "%d CHECK(s) FAILED\n" !Experiments.failures;
+    exit 1)

@@ -99,6 +99,19 @@ let jobs_arg =
     & opt int (Mx_util.Task_pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let cache_size_arg =
+  let doc =
+    "Capacity of the evaluation result cache, in entries (0 disables it).  \
+     Cached evaluations are keyed by structural fingerprints, so re-evaluating \
+     a design already estimated or simulated — including across strategies in \
+     one run — is free; cache traffic appears as $(b,eval.cache.*) counters \
+     under --metrics."
+  in
+  Arg.(
+    value
+    & opt int Mx_sim.Eval.default_cache_capacity
+    & info [ "cache-size" ] ~docv:"N" ~doc)
+
 let config_of_reduced reduced jobs =
   let base =
     if reduced then Conex.Explore.reduced_config
@@ -236,12 +249,13 @@ let parse_scenario s =
   | _ -> bad ()
 
 let explore_cmd =
-  let run name scale seed reduced jobs scenario plot trace_in csv bus_report
-      metrics trace_out =
+  let run name scale seed reduced jobs cache_size scenario plot trace_in csv
+      bus_report metrics trace_out =
     (* validate cheap inputs before hours of exploration *)
     let scenario = Option.map parse_scenario scenario in
     if trace_in = None then check_workload_name name;
     let w = resolve_workload name scale seed trace_in in
+    Mx_sim.Eval.set_cache_capacity cache_size;
     metrics_begin metrics trace_out;
     let r = Conex.Explore.run ~config:(config_of_reduced reduced jobs) w in
     Printf.printf
@@ -322,8 +336,8 @@ let explore_cmd =
     (Cmd.info "explore" ~doc:"Full two-phase ConEx exploration")
     Term.(
       const run $ workload_arg $ scale_arg $ seed_arg $ reduced_arg $ jobs_arg
-      $ scenario_arg $ plot_arg $ trace_in_arg $ csv_arg $ bus_report_arg
-      $ metrics_arg $ trace_out_arg)
+      $ cache_size_arg $ scenario_arg $ plot_arg $ trace_in_arg $ csv_arg
+      $ bus_report_arg $ metrics_arg $ trace_out_arg)
 
 (* -- select: re-select from a saved CSV ---------------------------------- *)
 
@@ -422,9 +436,10 @@ let select_cmd =
 (* -- strategies ---------------------------------------------------------- *)
 
 let strategies_cmd =
-  let run name scale seed jobs metrics trace_out =
+  let run name scale seed jobs cache_size metrics trace_out =
     check_workload_name name;
     let w = make_workload name ~scale ~seed in
+    Mx_sim.Eval.set_cache_capacity cache_size;
     metrics_begin metrics trace_out;
     let config = config_of_reduced true jobs in
     let full = Conex.Strategy.run ~config Conex.Strategy.Full w in
@@ -442,8 +457,8 @@ let strategies_cmd =
     (Cmd.info "strategies"
        ~doc:"Compare Pruned / Neighborhood / Full exploration strategies")
     Term.(
-      const run $ workload_arg $ scale_arg $ seed_arg $ jobs_arg $ metrics_arg
-      $ trace_out_arg)
+      const run $ workload_arg $ scale_arg $ seed_arg $ jobs_arg
+      $ cache_size_arg $ metrics_arg $ trace_out_arg)
 
 let main_cmd =
   let doc = "Memory system connectivity exploration (ConEx, DATE 2002)" in

@@ -38,6 +38,27 @@ let lookup t (ch : Channel.t) =
 
 let sharers t ch = List.length (lookup t ch).cluster.Cluster.channels
 
+(* Canonical order-insensitive fingerprint.  A channel is identified by
+   its endpoint pair (direction-insensitive, like [Channel.same_endpoints]);
+   channels within a cluster and bindings within the architecture are
+   sorted, so two architectures assembled in different orders — or from
+   differently-ordered clusters — fingerprint identically iff they bind
+   the same channel sets to the same component types. *)
+let fingerprint t =
+  let channel (ch : Channel.t) =
+    let a = Channel.node_to_string ch.Channel.src
+    and b = Channel.node_to_string ch.Channel.dst in
+    if String.compare a b <= 0 then a ^ "-" ^ b else b ^ "-" ^ a
+  in
+  let binding b =
+    let chans =
+      List.sort String.compare (List.map channel b.cluster.Cluster.channels)
+    in
+    b.component.Component.name ^ "{" ^ String.concat "," chans ^ "}"
+  in
+  "conn:"
+  ^ String.concat "+" (List.sort String.compare (List.map binding t.bindings))
+
 let describe t =
   t.bindings
   |> List.map (fun b ->

@@ -25,6 +25,15 @@ val sharers : t -> Channel.t -> int
 (** Number of channels sharing the component that carries this
     channel. *)
 
+val fingerprint : t -> string
+(** Canonical structural fingerprint, insensitive to the order of
+    bindings and of channels within a cluster (and to channel
+    direction): two architectures binding the same channel sets to the
+    same library components fingerprint identically, however they were
+    assembled.  Changing a component or moving a channel between
+    clusters changes the fingerprint.  Safe as a content-address for
+    evaluation results. *)
+
 val describe : t -> string
 (** e.g. ["ahb32{CPU<->cache} + off32{cache<->DRAM}"]. *)
 

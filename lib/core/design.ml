@@ -35,7 +35,16 @@ let id t =
   t.mem.Mx_mem.Mem_arch.label ^ " | "
   ^ Mx_connect.Conn_arch.describe t.conn
 
-let equal_structure a b = id a = id b
+(* The label is kept alongside the structural fingerprints so that two
+   APEX candidates that happen to share a structure (but were selected
+   as distinct points) never collapse into one design. *)
+let structural_key t =
+  t.mem.Mx_mem.Mem_arch.label ^ "|"
+  ^ Mx_mem.Mem_arch.fingerprint t.mem
+  ^ "|"
+  ^ Mx_connect.Conn_arch.fingerprint t.conn
+
+let equal_structure a b = structural_key a = structural_key b
 
 let pp fmt t =
   let r = best_result t in

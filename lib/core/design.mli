@@ -41,5 +41,16 @@ val id : t -> string
     stable across estimate/simulate, used for pareto-coverage
     matching. *)
 
+val structural_key : t -> string
+(** Canonical structural identity: the memory label plus the
+    {!Mx_mem.Mem_arch.fingerprint} and {!Mx_connect.Conn_arch.fingerprint}
+    of the design's two halves.  Insensitive to evaluation state ([est]
+    and [sim] never participate) and to the assembly order of the
+    connectivity; any parameter change produces a different key.  Use it
+    to index designs in hash tables during splice/merge passes. *)
+
 val equal_structure : t -> t -> bool
+(** [structural_key] equality: same architecture, whatever has (or has
+    not) been evaluated on it. *)
+
 val pp : Format.formatter -> t -> unit

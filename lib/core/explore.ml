@@ -70,8 +70,9 @@ let connectivity_exploration cfg workload (cand : Mx_apex.Explore.candidate) =
   Mx_util.Task_pool.parallel_map ~jobs:cfg.jobs ~chunk:estimate_chunk
     (fun conn ->
       let est =
-        Mx_sim.Estimator.estimate ~workload ~arch:cand.Mx_apex.Explore.arch
-          ~profile:cand.Mx_apex.Explore.profile ~conn
+        Mx_sim.Eval.eval ~fidelity:Mx_sim.Eval.Estimate ~workload
+          ~arch:cand.Mx_apex.Explore.arch
+          ~profile:cand.Mx_apex.Explore.profile ~conn ()
       in
       Design.make ~workload_name:workload.Mx_trace.Workload.name
         ~mem:cand.Mx_apex.Explore.arch ~conn ~est ())
@@ -100,10 +101,15 @@ let local_promising cfg designs =
   end;
   kept
 
+let fidelity_of_sample = function
+  | None -> Mx_sim.Eval.Exact
+  | Some (on, off) -> Mx_sim.Eval.Sampled (on, off)
+
 let simulate cfg workload (d : Design.t) =
   let sim =
-    Mx_sim.Cycle_sim.run ?sample:cfg.sample ~workload ~arch:d.Design.mem
-      ~conn:d.Design.conn ()
+    Mx_sim.Eval.eval
+      ~fidelity:(fidelity_of_sample cfg.sample)
+      ~workload ~arch:d.Design.mem ~conn:d.Design.conn ()
   in
   Design.with_sim d sim
 
@@ -167,13 +173,26 @@ let run ?(config = default_config) workload =
           in
           Mx_util.Metrics.incr metrics ~by:(List.length to_refine)
             "explore.refined";
-          Mx_util.Task_pool.parallel_map ~jobs:config.jobs ~chunk:1
-            (fun d ->
-              if List.exists (Design.equal_structure d) to_refine then
+          (* re-simulate only the chosen designs, then splice the exact
+             results back over their sampled counterparts by structural
+             key — the rest of the population is untouched *)
+          let refined =
+            Mx_util.Task_pool.parallel_map ~jobs:config.jobs ~chunk:1
+              (fun (d : Design.t) ->
                 Design.with_sim d
-                  (Mx_sim.Cycle_sim.run ~workload ~arch:d.Design.mem
-                     ~conn:d.Design.conn ())
-              else d)
+                  (Mx_sim.Eval.eval ~fidelity:Mx_sim.Eval.Exact ~workload
+                     ~arch:d.Design.mem ~conn:d.Design.conn ()))
+              to_refine
+          in
+          let by_key = Hashtbl.create (List.length refined) in
+          List.iter
+            (fun d -> Hashtbl.replace by_key (Design.structural_key d) d)
+            refined;
+          List.map
+            (fun d ->
+              match Hashtbl.find_opt by_key (Design.structural_key d) with
+              | Some r -> r
+              | None -> d)
             simulated)
     | _ -> simulated
   in

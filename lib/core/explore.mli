@@ -59,6 +59,11 @@ type result = {
   wall_seconds : float;
 }
 
+val fidelity_of_sample : (int * int) option -> Mx_sim.Eval.fidelity
+(** [None] is {!Mx_sim.Eval.Exact}, [Some (on, off)] is
+    {!Mx_sim.Eval.Sampled} — how a [config.sample] maps onto the
+    evaluation-engine ladder. *)
+
 val connectivity_exploration :
   config ->
   Mx_trace.Workload.t ->

@@ -104,8 +104,9 @@ let run ?(config = Explore.default_config) ?(neighbors = 2)
       Mx_util.Task_pool.parallel_map ~jobs:config.Explore.jobs ~chunk:1
         (fun (d : Design.t) ->
           Design.with_sim d
-            (Mx_sim.Cycle_sim.run ?sample:config.Explore.sample ~workload
-               ~arch:d.Design.mem ~conn:d.Design.conn ()))
+            (Mx_sim.Eval.eval
+               ~fidelity:(Explore.fidelity_of_sample config.Explore.sample)
+               ~workload ~arch:d.Design.mem ~conn:d.Design.conn ()))
         survivors
     in
     finish Neighborhood ~n_estimates:!n_estimates ~t0 simulated
@@ -150,8 +151,9 @@ let run ?(config = Explore.default_config) ?(neighbors = 2)
               ~mem:cand.Mx_apex.Explore.arch ~conn ()
           in
           Design.with_sim d
-            (Mx_sim.Cycle_sim.run ?sample:config.Explore.sample ~workload
-               ~arch:d.Design.mem ~conn ()))
+            (Mx_sim.Eval.eval
+               ~fidelity:(Explore.fidelity_of_sample config.Explore.sample)
+               ~workload ~arch:d.Design.mem ~conn ()))
         flat
     in
     finish Full ~n_estimates:0 ~t0 simulated

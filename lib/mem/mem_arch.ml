@@ -68,6 +68,55 @@ let binding_of t ~region =
     invalid_arg "Mem_arch.binding_of: region id out of range";
   t.bindings.(region)
 
+(* Canonical structural fingerprint: every parameter of every present
+   module plus the region binding table, one unambiguous field order.
+   The label is deliberately excluded — two architectures with the same
+   modules and bindings behave identically whatever they are called, so
+   they may share evaluation-cache entries. *)
+let fingerprint t =
+  let b = Buffer.create 96 in
+  let opt tag f = function
+    | None -> Buffer.add_string b (tag ^ "=-;")
+    | Some p -> Buffer.add_string b (Printf.sprintf "%s=%s;" tag (f p))
+  in
+  let cache (c : Params.cache) =
+    Printf.sprintf "%d/%d/%d/%d" c.c_size c.c_line c.c_assoc c.c_latency
+  in
+  Buffer.add_string b "mem:";
+  opt "c" cache t.cache;
+  opt "l2" cache t.l2;
+  opt "sb"
+    (fun (s : Params.stream_buffer) ->
+      Printf.sprintf "%d/%d/%d/%d" s.sb_streams s.sb_line s.sb_depth
+        s.sb_latency)
+    t.sbuf;
+  opt "ll"
+    (fun (l : Params.lldma) ->
+      Printf.sprintf "%d/%d/%d/%d" l.ll_entries l.ll_elem l.ll_max_gap
+        l.ll_latency)
+    t.lldma;
+  opt "sr"
+    (fun (s : Params.sram) -> Printf.sprintf "%d/%d" s.s_size s.s_latency)
+    t.sram;
+  opt "v"
+    (fun (v : Params.victim) -> Printf.sprintf "%d/%d" v.v_entries v.v_latency)
+    t.victim;
+  opt "wb"
+    (fun (w : Params.write_buffer) ->
+      Printf.sprintf "%d/%d" w.wb_entries w.wb_drain)
+    t.wbuf;
+  Buffer.add_string b "b=";
+  Array.iter
+    (fun bind ->
+      Buffer.add_char b
+        (match bind with
+        | To_cache -> 'c'
+        | To_sram -> 's'
+        | To_sbuf -> 'b'
+        | To_lldma -> 'l'))
+    t.bindings;
+  Buffer.contents b
+
 let describe t =
   let parts =
     List.filter_map

@@ -53,6 +53,14 @@ val has_module : t -> binding -> bool
 val binding_of : t -> region:int -> binding
 (** @raise Invalid_argument for an out-of-range region id. *)
 
+val fingerprint : t -> string
+(** Canonical structural fingerprint: every parameter of every present
+    module plus the binding table, in one fixed field order — injective
+    over structure, so it is safe as a content-address for evaluation
+    results.  The [label] is excluded: identically-structured
+    architectures fingerprint identically whatever they are called.
+    Any single parameter change produces a different fingerprint. *)
+
 val describe : t -> string
 (** Short human description, e.g. ["cache 8KB/32/2 + sbuf(4) + lldma"]. *)
 

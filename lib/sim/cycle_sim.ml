@@ -34,73 +34,20 @@ let route bindings (src : Channel.node) (dst : Channel.node) =
   in
   go 0 bindings
 
-let node_of = function
-  | Mem_sim.By_cache -> Channel.Cache
-  | Mem_sim.By_sram -> Channel.Sram
-  | Mem_sim.By_sbuf -> Channel.Sbuf
-  | Mem_sim.By_lldma -> Channel.Lldma
-  | Mem_sim.By_dram_direct -> Channel.Dram
+let node_of = Serving.node_of
+let serving_idx = Serving.index
+let module_latency = Serving.module_latency
+let module_energy = Serving.module_energy
 
-let serving_idx = function
-  | Mem_sim.By_cache -> 0
-  | Mem_sim.By_sram -> 1
-  | Mem_sim.By_sbuf -> 2
-  | Mem_sim.By_lldma -> 3
-  | Mem_sim.By_dram_direct -> 4
-
-let module_latency (arch : Mem_arch.t) = function
-  | Mem_sim.By_cache -> (
-    match arch.Mem_arch.cache with
-    | Some c -> c.Params.c_latency
-    | None -> 0)
-  | Mem_sim.By_sram -> (
-    match arch.Mem_arch.sram with Some s -> s.Params.s_latency | None -> 1)
-  | Mem_sim.By_sbuf -> (
-    match arch.Mem_arch.sbuf with Some s -> s.Params.sb_latency | None -> 1)
-  | Mem_sim.By_lldma -> (
-    match arch.Mem_arch.lldma with Some l -> l.Params.ll_latency | None -> 1)
-  | Mem_sim.By_dram_direct -> 0
-
-let module_energy (arch : Mem_arch.t) serving ~write =
-  match serving with
-  | Mem_sim.By_cache -> (
-    match arch.Mem_arch.cache with
-    | Some c -> Mx_mem.Energy_model.cache_access c ~write
-    | None -> 0.0)
-  | Mem_sim.By_sram -> (
-    match arch.Mem_arch.sram with
-    | Some s -> Mx_mem.Energy_model.sram_access ~size:s.Params.s_size
-    | None -> 0.0)
-  | Mem_sim.By_sbuf -> (
-    match arch.Mem_arch.sbuf with
-    | Some s -> Mx_mem.Energy_model.stream_buffer_access s
-    | None -> 0.0)
-  | Mem_sim.By_lldma -> (
-    match arch.Mem_arch.lldma with
-    | Some l -> Mx_mem.Energy_model.lldma_access l
-    | None -> 0.0)
-  | Mem_sim.By_dram_direct -> 0.0
-
-(* The demand (CPU-blocking) share of an access's off-chip traffic:
-   fills are critical-word-first, so the CPU resumes after the first
-   8 bytes arrive and the rest of the line streams in behind. *)
-let cwf_bytes = 8
-
-let critical_bytes (arch : Mem_arch.t) serving (o : Mem_sim.outcome) ~size =
+(* The demand (CPU-blocking) share of an access's off-chip traffic is
+   critical-word-first (see {!Serving.critical_bytes}); the simulator
+   sizes the LLDMA leg from the observed transfer and falls back to the
+   access size when a class has no backing module. *)
+let critical_bytes arch serving (o : Mem_sim.outcome) ~size =
   if not o.Mem_sim.dram_critical then 0
   else
-    match serving with
-    | Mem_sim.By_cache -> (
-      match arch.Mem_arch.cache with
-      | Some c -> min c.Params.c_line cwf_bytes
-      | None -> size)
-    | Mem_sim.By_sbuf -> (
-      match arch.Mem_arch.sbuf with
-      | Some s -> min s.Params.sb_line cwf_bytes
-      | None -> size)
-    | Mem_sim.By_lldma -> min o.Mem_sim.dram_bytes cwf_bytes
-    | Mem_sim.By_dram_direct -> size
-    | Mem_sim.By_sram -> 0
+    Serving.critical_bytes arch serving ~lldma_bytes:o.Mem_sim.dram_bytes
+      ~fallback:size
 
 type bus_stat = {
   component : string;
@@ -150,8 +97,7 @@ let run_traced ?sample ?(cpu = Blocking) ~workload ~arch ~conn () =
           if sv = Mem_sim.By_cache && has_l2 then Channel.L2 else node
         in
         dram_leg.(i) <- route bindings dram_src Channel.Dram)
-    [ Mem_sim.By_cache; Mem_sim.By_sram; Mem_sim.By_sbuf; Mem_sim.By_lldma;
-      Mem_sim.By_dram_direct ];
+    Serving.all;
   let msim =
     Mem_sim.create arch ~regions:workload.Mx_trace.Workload.regions
   in

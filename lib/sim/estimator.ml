@@ -7,71 +7,23 @@ module Conn_arch = Mx_connect.Conn_arch
 module Conn_cost = Mx_connect.Conn_cost
 module Rt = Mx_connect.Reservation_table
 
-let servings =
-  [ Mem_sim.By_cache; Mem_sim.By_sram; Mem_sim.By_sbuf; Mem_sim.By_lldma;
-    Mem_sim.By_dram_direct ]
+let node_of = Serving.node_of
 
-let node_of = function
-  | Mem_sim.By_cache -> Channel.Cache
-  | Mem_sim.By_sram -> Channel.Sram
-  | Mem_sim.By_sbuf -> Channel.Sbuf
-  | Mem_sim.By_lldma -> Channel.Lldma
-  | Mem_sim.By_dram_direct -> Channel.Dram
+let dram_core_latency = Serving.dram_core_latency
 
-(* average DRAM core latency assuming a mixed row-hit/miss stream *)
-let dram_core_latency () =
-  let d = Mx_mem.Module_lib.default_dram in
-  float_of_int d.Params.d_cas
-  +. (0.5 *. float_of_int (d.Params.d_rcd + d.Params.d_rp))
+(* the estimator characterises a read-dominated average access *)
+let module_energy arch sv = Serving.module_energy arch sv ~write:false
 
-(* critical-word-first: the CPU resumes after the first 8 bytes *)
-let cwf_bytes = 8
+(* critical-word-first demand bytes; without the observed transfer the
+   estimator falls back to a 4-byte word, and sizes the LLDMA leg from
+   its static element width *)
+let critical_bytes_of (arch : Mem_arch.t) sv =
+  let lldma_bytes =
+    match arch.Mem_arch.lldma with Some l -> l.Params.ll_elem | None -> 4
+  in
+  Serving.critical_bytes arch sv ~lldma_bytes ~fallback:4
 
-let critical_bytes_of (arch : Mem_arch.t) = function
-  | Mem_sim.By_cache -> (
-    match arch.Mem_arch.cache with
-    | Some c -> min c.Params.c_line cwf_bytes
-    | None -> 4)
-  | Mem_sim.By_sbuf -> (
-    match arch.Mem_arch.sbuf with
-    | Some s -> min s.Params.sb_line cwf_bytes
-    | None -> 4)
-  | Mem_sim.By_lldma -> (
-    match arch.Mem_arch.lldma with
-    | Some l -> min l.Params.ll_elem cwf_bytes
-    | None -> 4)
-  | Mem_sim.By_dram_direct -> 4
-  | Mem_sim.By_sram -> 0
-
-let module_latency (arch : Mem_arch.t) = function
-  | Mem_sim.By_cache -> (
-    match arch.Mem_arch.cache with Some c -> c.Params.c_latency | None -> 0)
-  | Mem_sim.By_sram -> (
-    match arch.Mem_arch.sram with Some s -> s.Params.s_latency | None -> 1)
-  | Mem_sim.By_sbuf -> (
-    match arch.Mem_arch.sbuf with Some s -> s.Params.sb_latency | None -> 1)
-  | Mem_sim.By_lldma -> (
-    match arch.Mem_arch.lldma with Some l -> l.Params.ll_latency | None -> 1)
-  | Mem_sim.By_dram_direct -> 0
-
-let module_energy (arch : Mem_arch.t) = function
-  | Mem_sim.By_cache -> (
-    match arch.Mem_arch.cache with
-    | Some c -> Mx_mem.Energy_model.cache_access c ~write:false
-    | None -> 0.0)
-  | Mem_sim.By_sram -> (
-    match arch.Mem_arch.sram with
-    | Some s -> Mx_mem.Energy_model.sram_access ~size:s.Params.s_size
-    | None -> 0.0)
-  | Mem_sim.By_sbuf -> (
-    match arch.Mem_arch.sbuf with
-    | Some s -> Mx_mem.Energy_model.stream_buffer_access s
-    | None -> 0.0)
-  | Mem_sim.By_lldma -> (
-    match arch.Mem_arch.lldma with
-    | Some l -> Mx_mem.Energy_model.lldma_access l
-    | None -> 0.0)
-  | Mem_sim.By_dram_direct -> 0.0
+let module_latency = Serving.module_latency
 
 type leg = {
   comp : Component.t;
@@ -108,7 +60,7 @@ let estimate ~workload ~arch ~(profile : Mem_sim.stats) ~conn =
   in
   (* per-serving traffic characterisation from the profile *)
   let active =
-    List.filter (fun sv -> profile.Mem_sim.cpu_accesses sv > 0) servings
+    List.filter (fun sv -> profile.Mem_sim.cpu_accesses sv > 0) Serving.all
   in
   let avg_size sv =
     float_of_int (profile.Mem_sim.cpu_bytes sv)

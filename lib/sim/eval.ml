@@ -1,0 +1,71 @@
+module Workload = Mx_trace.Workload
+module Trace = Mx_trace.Trace
+module Mem_arch = Mx_mem.Mem_arch
+module Conn_arch = Mx_connect.Conn_arch
+module Memo_cache = Mx_util.Memo_cache
+
+type fidelity = Estimate | Sampled of int * int | Exact
+
+let fidelity_tag = function
+  | Estimate -> "e"
+  | Sampled (on, off) -> Printf.sprintf "s:%d/%d" on off
+  | Exact -> "x"
+
+let default_cache_capacity = 65536
+
+let make_cache capacity =
+  Memo_cache.create ~metrics_prefix:"eval.cache" ~capacity ()
+
+let cache : Sim_result.t Memo_cache.t ref = ref (make_cache default_cache_capacity)
+
+let set_cache_capacity capacity = cache := make_cache (max 0 capacity)
+let cache_capacity () = Memo_cache.capacity !cache
+let cache_stats () = Memo_cache.stats !cache
+let clear_cache () = Memo_cache.clear !cache
+
+(* Workload fingerprints are O(trace length); exploration evaluates the
+   same workload thousands of times, so memoise the last one by physical
+   identity (the length re-check guards against in-place Emitter
+   appends).  A lock-free single slot is enough: racing domains all
+   write the same value. *)
+let wl_memo : (Workload.t * int * string) option Atomic.t = Atomic.make None
+
+let workload_fingerprint (w : Workload.t) =
+  let len = Trace.length w.Workload.trace in
+  match Atomic.get wl_memo with
+  | Some (w', len', fp) when w' == w && len' = len -> fp
+  | _ ->
+    let fp = Workload.fingerprint w in
+    Atomic.set wl_memo (Some (w, len, fp));
+    fp
+
+let key ~base fidelity = base ^ "|" ^ fidelity_tag fidelity
+
+let eval ~fidelity ~workload ~arch ?profile ~conn () =
+  let c = !cache in
+  let base =
+    workload_fingerprint workload
+    ^ "|" ^ Mem_arch.fingerprint arch
+    ^ "|" ^ Conn_arch.fingerprint conn
+  in
+  match fidelity with
+  | Estimate ->
+    let profile =
+      match profile with
+      | Some p -> p
+      | None -> invalid_arg "Eval.eval: Estimate fidelity requires ~profile"
+    in
+    Memo_cache.find_or_compute c ~key:(key ~base Estimate) (fun () ->
+        Estimator.estimate ~workload ~arch ~profile ~conn)
+  | Exact ->
+    Memo_cache.find_or_compute c ~key:(key ~base Exact) (fun () ->
+        Cycle_sim.run ~workload ~arch ~conn ())
+  | Sampled (on, off) -> (
+    (* an exact result for the same design is strictly higher fidelity:
+       serve it instead of re-simulating with sampling *)
+    match Memo_cache.peek c ~key:(key ~base Exact) with
+    | Some r -> r
+    | None ->
+      Memo_cache.find_or_compute c
+        ~key:(key ~base (Sampled (on, off)))
+        (fun () -> Cycle_sim.run ~sample:(on, off) ~workload ~arch ~conn ()))

@@ -1,0 +1,80 @@
+(** The unified evaluation engine: one entry point for every
+    performance/energy evaluation in the exploration funnel, with a
+    content-addressed result cache behind it.
+
+    The funnel's three evaluators become one {!fidelity} ladder:
+
+    {v
+      Estimate          analytic model from a module-level profile
+        |                 (Phase I fan-out; cheapest, least accurate)
+      Sampled (on,off)  time-sampled cycle simulation
+        |                 (Phase II; Kessler windows)
+      Exact             full trace-driven cycle simulation
+                          (refinement / final reporting; ground truth)
+    v}
+
+    Every call is routed through a process-wide {!Mx_util.Memo_cache}
+    keyed by canonical structural fingerprints:
+
+    [workload fingerprint | memory fingerprint | connectivity
+    fingerprint | fidelity tag]
+
+    so a design already evaluated at {e equal or higher} fidelity is
+    never recomputed: an [Exact] result satisfies a later [Sampled]
+    request for the same design (both are produced by the cycle
+    simulator; the exact run is strictly better).  [Estimate] results
+    are kept separate in both directions — the analytic model is a
+    different estimator, and silently substituting simulator output
+    would change what the caller asked for (and vice versa).
+    [Sampled] entries only satisfy requests with identical windows.
+
+    The cache is single-flight (see {!Mx_util.Memo_cache}): concurrent
+    evaluations of the same key across {!Mx_util.Task_pool} domains
+    compute once, so per-simulation counters such as [cycle_sim.runs]
+    remain identical at every jobs level.  Cache traffic is recorded in
+    {!Mx_util.Metrics.global} as [eval.cache.hits], [eval.cache.misses]
+    and [eval.cache.evictions]. *)
+
+type fidelity =
+  | Estimate  (** {!Estimator.estimate}; requires [~profile] *)
+  | Sampled of int * int  (** {!Cycle_sim.run} with [(on, off)] windows *)
+  | Exact  (** {!Cycle_sim.run} over the full trace *)
+
+val fidelity_tag : fidelity -> string
+(** Canonical short form used in cache keys (stable across runs). *)
+
+val eval :
+  fidelity:fidelity ->
+  workload:Mx_trace.Workload.t ->
+  arch:Mx_mem.Mem_arch.t ->
+  ?profile:Mx_mem.Mem_sim.stats ->
+  conn:Mx_connect.Conn_arch.t ->
+  unit ->
+  Sim_result.t
+(** Evaluate one (workload, memory, connectivity) design point at the
+    requested fidelity, serving it from the cache when an entry of equal
+    or higher fidelity exists.
+    @raise Invalid_argument when [fidelity = Estimate] and no [~profile]
+    is supplied, or whenever the underlying evaluator rejects the
+    design (unroutable channel, bad sampling windows, empty profile). *)
+
+val default_cache_capacity : int
+(** 65536 entries — far above the working set of any bundled experiment,
+    so nothing is evicted and cache behaviour stays deterministic. *)
+
+val set_cache_capacity : int -> unit
+(** Replace the cache with a fresh one of the given capacity (dropping
+    all entries; 0 or negative disables caching).  Not safe to call
+    concurrently with running evaluations — configure before
+    exploring. *)
+
+val cache_capacity : unit -> int
+
+val cache_stats : unit -> Mx_util.Memo_cache.stats
+(** Hit/miss/eviction totals since the cache was created or last
+    resized ({!clear_cache} keeps counters). *)
+
+val clear_cache : unit -> unit
+(** Drop every cached result (counters are kept).  Call between
+    independent experiment arms when warm-cache carry-over would blur a
+    comparison. *)

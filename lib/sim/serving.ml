@@ -1,0 +1,76 @@
+module Mem_sim = Mx_mem.Mem_sim
+module Mem_arch = Mx_mem.Mem_arch
+module Params = Mx_mem.Params
+module Channel = Mx_connect.Channel
+
+let all =
+  [ Mem_sim.By_cache; Mem_sim.By_sram; Mem_sim.By_sbuf; Mem_sim.By_lldma;
+    Mem_sim.By_dram_direct ]
+
+let node_of = function
+  | Mem_sim.By_cache -> Channel.Cache
+  | Mem_sim.By_sram -> Channel.Sram
+  | Mem_sim.By_sbuf -> Channel.Sbuf
+  | Mem_sim.By_lldma -> Channel.Lldma
+  | Mem_sim.By_dram_direct -> Channel.Dram
+
+let index = function
+  | Mem_sim.By_cache -> 0
+  | Mem_sim.By_sram -> 1
+  | Mem_sim.By_sbuf -> 2
+  | Mem_sim.By_lldma -> 3
+  | Mem_sim.By_dram_direct -> 4
+
+(* average DRAM core latency assuming a mixed row-hit/miss stream *)
+let dram_core_latency () =
+  let d = Mx_mem.Module_lib.default_dram in
+  float_of_int d.Params.d_cas
+  +. (0.5 *. float_of_int (d.Params.d_rcd + d.Params.d_rp))
+
+(* critical-word-first: the CPU resumes after the first 8 bytes *)
+let cwf_bytes = 8
+
+let module_latency (arch : Mem_arch.t) = function
+  | Mem_sim.By_cache -> (
+    match arch.Mem_arch.cache with Some c -> c.Params.c_latency | None -> 0)
+  | Mem_sim.By_sram -> (
+    match arch.Mem_arch.sram with Some s -> s.Params.s_latency | None -> 1)
+  | Mem_sim.By_sbuf -> (
+    match arch.Mem_arch.sbuf with Some s -> s.Params.sb_latency | None -> 1)
+  | Mem_sim.By_lldma -> (
+    match arch.Mem_arch.lldma with Some l -> l.Params.ll_latency | None -> 1)
+  | Mem_sim.By_dram_direct -> 0
+
+let module_energy (arch : Mem_arch.t) serving ~write =
+  match serving with
+  | Mem_sim.By_cache -> (
+    match arch.Mem_arch.cache with
+    | Some c -> Mx_mem.Energy_model.cache_access c ~write
+    | None -> 0.0)
+  | Mem_sim.By_sram -> (
+    match arch.Mem_arch.sram with
+    | Some s -> Mx_mem.Energy_model.sram_access ~size:s.Params.s_size
+    | None -> 0.0)
+  | Mem_sim.By_sbuf -> (
+    match arch.Mem_arch.sbuf with
+    | Some s -> Mx_mem.Energy_model.stream_buffer_access s
+    | None -> 0.0)
+  | Mem_sim.By_lldma -> (
+    match arch.Mem_arch.lldma with
+    | Some l -> Mx_mem.Energy_model.lldma_access l
+    | None -> 0.0)
+  | Mem_sim.By_dram_direct -> 0.0
+
+let critical_bytes (arch : Mem_arch.t) serving ~lldma_bytes ~fallback =
+  match serving with
+  | Mem_sim.By_cache -> (
+    match arch.Mem_arch.cache with
+    | Some c -> min c.Params.c_line cwf_bytes
+    | None -> fallback)
+  | Mem_sim.By_sbuf -> (
+    match arch.Mem_arch.sbuf with
+    | Some s -> min s.Params.sb_line cwf_bytes
+    | None -> fallback)
+  | Mem_sim.By_lldma -> min lldma_bytes cwf_bytes
+  | Mem_sim.By_dram_direct -> fallback
+  | Mem_sim.By_sram -> 0

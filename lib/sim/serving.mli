@@ -1,0 +1,47 @@
+(** Serving-class helpers shared by the analytical estimator and the
+    cycle simulator.
+
+    Both evaluators reason about the same five serving classes (which
+    module answered a CPU access) and agree on the per-class connectivity
+    node, module latency/energy, and the critical-word-first demand
+    share of an off-chip fill.  Keeping one copy here guarantees the two
+    fidelity levels cannot silently diverge on these ground truths. *)
+
+val all : Mx_mem.Mem_sim.serving list
+(** Every serving class, in {!index} order. *)
+
+val node_of : Mx_mem.Mem_sim.serving -> Mx_connect.Channel.node
+(** The connectivity endpoint a serving class talks through. *)
+
+val index : Mx_mem.Mem_sim.serving -> int
+(** Dense 0..4 index, for per-class arrays. *)
+
+val dram_core_latency : unit -> float
+(** Average DRAM core latency of the library DRAM part assuming a mixed
+    row-hit/miss stream. *)
+
+val cwf_bytes : int
+(** Critical-word-first width: the CPU resumes once this many bytes of a
+    fill have arrived; the rest streams in behind. *)
+
+val module_latency : Mx_mem.Mem_arch.t -> Mx_mem.Mem_sim.serving -> int
+(** On-chip access latency of the module serving this class (0 for a
+    direct DRAM access — the DRAM core time is accounted separately). *)
+
+val module_energy :
+  Mx_mem.Mem_arch.t -> Mx_mem.Mem_sim.serving -> write:bool -> float
+(** Per-access energy of the serving module, in nJ. *)
+
+val critical_bytes :
+  Mx_mem.Mem_arch.t ->
+  Mx_mem.Mem_sim.serving ->
+  lldma_bytes:int ->
+  fallback:int ->
+  int
+(** Demand (CPU-blocking) bytes of an off-chip transfer for this class:
+    [min line cwf_bytes] for line-based modules, [min lldma_bytes
+    cwf_bytes] for the linked-list DMA (whose transfer unit is dynamic),
+    [fallback] when the class has no backing module or hits DRAM
+    directly, and [0] for SRAM (never off-chip).  The estimator passes
+    the architecture's static element width and a 4-byte fallback; the
+    cycle simulator passes the observed transfer size. *)

@@ -71,6 +71,19 @@ let sub t ~pos ~len =
   nt.len <- len;
   nt
 
+(* FNV-1a over the packed arrays (both words of every access), entirely
+   in native-int arithmetic: deterministic across runs and domains,
+   sensitive to any single-access change.  The offset basis is the FNV-1a
+   64-bit basis truncated to OCaml's 63-bit native int. *)
+let content_hash t =
+  let h = ref 0x3bf29ce484222325 in
+  let step x = h := (!h lxor x) * 0x100000001b3 in
+  for i = 0 to t.len - 1 do
+    step t.addrs.(i);
+    step t.metas.(i)
+  done;
+  !h land max_int
+
 let total_bytes t =
   let acc = ref 0 in
   for i = 0 to t.len - 1 do

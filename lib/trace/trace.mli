@@ -37,5 +37,12 @@ val sub : t -> pos:int -> len:int -> t
 (** Copy of a window of the trace.  @raise Invalid_argument when the
     window falls outside the trace. *)
 
+val content_hash : t -> int
+(** Non-negative FNV-1a hash of the packed access stream (address and
+    metadata of every access, in order).  O(length); deterministic
+    across runs and domains.  Any single-access change — address, size,
+    kind, region or position — changes the hash with overwhelming
+    probability. *)
+
 val total_bytes : t -> int
 (** Sum of access widths — the raw CPU-side traffic. *)

@@ -32,6 +32,21 @@ let concat ~name = function
       cpu_ops = List.fold_left (fun a w -> a + w.cpu_ops) 0 all;
     }
 
+(* Regions are replayed in table order by every consumer, so the region
+   list is canonical as-is; the trace itself is folded to its FNV-1a
+   content hash rather than inlined.  O(trace length) — callers that
+   evaluate one workload many times should compute this once. *)
+let fingerprint t =
+  let region (r : Region.t) =
+    Printf.sprintf "%d:%s:%d:%d:%d:%s" r.Region.id r.Region.name r.Region.base
+      r.Region.size r.Region.elem_size
+      (Region.pattern_to_string r.Region.hint)
+  in
+  Printf.sprintf "wl:%s;n=%d;h=%x;ops=%d;r=%s" t.name (Trace.length t.trace)
+    (Trace.content_hash t.trace)
+    t.cpu_ops
+    (String.concat "," (List.map region t.regions))
+
 let region_by_name t name =
   match List.find_opt (fun r -> r.Region.name = name) t.regions with
   | Some r -> r

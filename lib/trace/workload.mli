@@ -22,6 +22,14 @@ val concat : name:string -> t list -> t
     extents) — i.e. be instances of the same kernel.
     @raise Invalid_argument on an empty list or mismatched regions. *)
 
+val fingerprint : t -> string
+(** Canonical content fingerprint: name, trace length, trace content
+    hash (see {!Trace.content_hash}), cpu op count, and the full region
+    table.  Two workloads with equal fingerprints behave identically
+    under estimation and simulation (up to hash collision on the trace
+    stream).  O(trace length) — compute once per workload, not per
+    evaluation. *)
+
 val region_by_name : t -> string -> Region.t
 (** @raise Not_found when the workload has no such region. *)
 

@@ -1,0 +1,178 @@
+(* A bounded, thread-safe, content-addressed result cache.
+
+   Entries are keyed by canonical strings (structural fingerprints) and
+   live in one hash table guarded by a mutex.  Lookups that miss insert
+   a [Pending] marker and compute outside the lock; concurrent lookups
+   of the same key block on a condition variable until the first
+   computation publishes ([Ready]) — the "single-flight" property that
+   makes compute counts identical at every Task_pool jobs level.
+
+   Eviction is LRU-ish: each entry carries a last-use tick and the
+   least recently used [Ready] entry is dropped when an insert pushes
+   the table past capacity.  [Pending] entries are never evicted (a
+   waiter may hold a reference to them). *)
+
+type 'a state = Pending | Ready of 'a
+
+type 'a entry = { mutable state : 'a state; mutable last_use : int }
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+type 'a t = {
+  capacity : int;
+  mu : Mutex.t;
+  cond : Condition.t;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+  registry : Metrics.t;
+  prefix : string option;
+}
+
+let create ?(registry = Metrics.global) ?metrics_prefix ~capacity () =
+  {
+    capacity;
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    tbl = Hashtbl.create (max 16 (min 4096 capacity));
+    tick = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+    registry;
+    prefix = metrics_prefix;
+  }
+
+let capacity t = t.capacity
+let enabled t = t.capacity > 0
+
+let record t what =
+  match t.prefix with
+  | None -> ()
+  | Some p -> Metrics.incr t.registry (p ^ "." ^ what)
+
+let hit t =
+  Atomic.incr t.hits;
+  record t "hits"
+
+let miss t =
+  Atomic.incr t.misses;
+  record t "misses"
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_use <- t.tick
+
+(* Drop the least-recently-used Ready entries until the table fits the
+   capacity again.  Called with [t.mu] held. *)
+let evict_to_capacity t =
+  while
+    Hashtbl.length t.tbl > t.capacity
+    &&
+    (* find the Ready entry with the smallest last-use tick *)
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key e ->
+        match e.state with
+        | Pending -> ()
+        | Ready _ -> (
+          match !victim with
+          | Some (_, best) when best <= e.last_use -> ()
+          | _ -> victim := Some (key, e.last_use)))
+      t.tbl;
+    match !victim with
+    | None -> false (* everything pending: tolerate the overshoot *)
+    | Some (key, _) ->
+      Hashtbl.remove t.tbl key;
+      Atomic.incr t.evictions;
+      record t "evictions";
+      true
+  do
+    ()
+  done
+
+let find_or_compute t ~key f =
+  if not (enabled t) then begin
+    miss t;
+    f ()
+  end
+  else begin
+    Mutex.lock t.mu;
+    let rec lookup () =
+      match Hashtbl.find_opt t.tbl key with
+      | Some ({ state = Ready v; _ } as e) ->
+        touch t e;
+        Mutex.unlock t.mu;
+        hit t;
+        v
+      | Some { state = Pending; _ } ->
+        (* another domain is computing this key: wait for it *)
+        Condition.wait t.cond t.mu;
+        lookup ()
+      | None ->
+        let e = { state = Pending; last_use = t.tick } in
+        Hashtbl.add t.tbl key e;
+        Mutex.unlock t.mu;
+        miss t;
+        (match f () with
+        | v ->
+          Mutex.lock t.mu;
+          e.state <- Ready v;
+          touch t e;
+          evict_to_capacity t;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.mu;
+          v
+        | exception exn ->
+          (* never cache a failure: drop the marker so a later call
+             retries, and wake the waiters (they will recompute) *)
+          Mutex.lock t.mu;
+          Hashtbl.remove t.tbl key;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.mu;
+          raise exn)
+    in
+    lookup ()
+  end
+
+let peek t ~key =
+  if not (enabled t) then None
+  else begin
+    Mutex.lock t.mu;
+    let r =
+      match Hashtbl.find_opt t.tbl key with
+      | Some ({ state = Ready v; _ } as e) ->
+        touch t e;
+        Some v
+      | Some { state = Pending; _ } | None -> None
+    in
+    Mutex.unlock t.mu;
+    if r <> None then hit t;
+    r
+  end
+
+let length t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.mu;
+  n
+
+let stats t =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    evictions = Atomic.get t.evictions;
+    size = length t;
+  }
+
+let clear t =
+  Mutex.lock t.mu;
+  Hashtbl.reset t.tbl;
+  (* no waiter can be parked on a cleared Pending entry's key without
+     the computing domain still holding the entry record: it publishes
+     into its own record and broadcasts, so waiters re-check and simply
+     miss afterwards *)
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu

@@ -168,9 +168,9 @@ let counter_value t name =
   Mutex.unlock t.mu;
   v
 
-(* Does [name] contain a "sched." segment (at the start or after a dot)? *)
-let is_sched name =
-  let needle = "sched." in
+(* Does [name] contain [needle] as a segment (at the start or after a
+   dot)?  [needle] must end with '.'. *)
+let has_segment needle name =
   let nl = String.length needle and l = String.length name in
   let rec go i =
     if i + nl > l then false
@@ -181,8 +181,15 @@ let is_sched name =
   in
   go 0
 
+(* [sched.] counters measure scheduling itself; [cache.] counters can
+   depend on eviction order, which is scheduling-dependent once a cache
+   overflows its capacity.  Both are excluded from the parity
+   contract. *)
 let deterministic_counters (s : snapshot) =
-  List.filter (fun (name, _) -> not (is_sched name)) s.counters
+  List.filter
+    (fun (name, _) ->
+      not (has_segment "sched." name || has_segment "cache." name))
+    s.counters
 
 (* -- rendering ----------------------------------------------------------- *)
 

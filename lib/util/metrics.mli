@@ -90,8 +90,11 @@ val counter_value : t -> string -> int
 (** Current value of a counter; 0 when it was never incremented. *)
 
 val deterministic_counters : snapshot -> (string * int) list
-(** The counters whose names contain no [sched.] segment — the subset
-    required to be identical between serial and parallel runs. *)
+(** The counters whose names contain no [sched.] or [cache.] segment —
+    the subset required to be identical between serial and parallel
+    runs.  [cache.] counters are excluded because once a result cache
+    overflows its capacity, which entry is evicted (and therefore the
+    later hit/miss pattern) depends on cross-domain lookup order. *)
 
 val to_text : t -> string
 (** Human-readable rendering: counters, gauges, histograms, then the

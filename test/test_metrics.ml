@@ -287,10 +287,14 @@ let test_deterministic_counters_filter () =
       "task_pool.sched.dispatched_chunks";
       "sched.top_level";
       "scheduled.not_filtered" (* "sched" must be a whole dotted segment *);
+      "eval.cache.hits";
+      "cache.top_level";
+      "cached.not_filtered" (* likewise "cache" *);
     ];
   let det = Metrics.deterministic_counters (Metrics.snapshot m) in
-  Helpers.check_true "sched. names dropped, others kept"
-    (List.map fst det = [ "explore.estimates"; "scheduled.not_filtered" ])
+  Helpers.check_true "sched./cache. names dropped, others kept"
+    (List.map fst det
+    = [ "cached.not_filtered"; "explore.estimates"; "scheduled.not_filtered" ])
 
 (* -- rendering ------------------------------------------------------------- *)
 
@@ -362,6 +366,11 @@ let small_config jobs =
   }
 
 let run_with_metrics jobs w =
+  (* each arm must start cold: a warm result cache would serve the
+     second run entirely from memory and zero out its simulator/estimator
+     counters, which is exactly the carry-over the parity contract is
+     not about *)
+  Mx_sim.Eval.clear_cache ();
   Helpers.with_global_metrics (fun () ->
       let r = Explore.run ~config:(small_config jobs) w in
       Mx_sim.Cycle_sim.record_utilization_gauges ();

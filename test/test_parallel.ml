@@ -161,10 +161,18 @@ let strip_wall (r : Explore.result) =
     List.map (fun (c : Mx_apex.Explore.candidate) -> c.Mx_apex.Explore.arch)
       r.Explore.apex_selected )
 
+(* Both arms must run against a cold result cache: a warm cache would
+   serve the second run from the first one's entries — in the sampled
+   case even promoting the refine pass's exact results into the sampled
+   phase — so the two arms would no longer compute the same thing. *)
+let cold_run config w =
+  Mx_sim.Eval.clear_cache ();
+  Explore.run ~config w
+
 let test_run_parallel_matches_serial () =
   let w = Helpers.mixed_workload ~scale:6000 () in
-  let serial = Explore.run ~config:(small_config 1) w in
-  let parallel = Explore.run ~config:(small_config 4) w in
+  let serial = cold_run (small_config 1) w in
+  let parallel = cold_run (small_config 4) w in
   Helpers.check_true "results byte-identical at jobs=4"
     (strip_wall serial = strip_wall parallel)
 
@@ -174,8 +182,8 @@ let test_run_sampled_refine_parallel_matches_serial () =
   let with_sampling jobs =
     { (small_config jobs) with Explore.sample = Some (500, 1500); refine_top = 4 }
   in
-  let serial = Explore.run ~config:(with_sampling 1) w in
-  let parallel = Explore.run ~config:(with_sampling 3) w in
+  let serial = cold_run (with_sampling 1) w in
+  let parallel = cold_run (with_sampling 3) w in
   Helpers.check_true "sampled+refined results byte-identical"
     (strip_wall serial = strip_wall parallel)
 
