@@ -454,10 +454,84 @@ let cache () =
     (warm.Explore.wall_seconds <= 0.8 *. cold.Explore.wall_seconds);
   print_newline ()
 
+(* -- event-log overhead: provenance on vs off --------------------------- *)
+
+let events () =
+  print_endline "==================================================================";
+  print_endline "Event log -- exploration with provenance off vs on (compress)";
+  print_endline
+    "  the same exploration twice from a cold cache: recording the full";
+  print_endline
+    "  decision stream must not change any result, and every Phase I design";
+  print_endline "  must reach a terminal verdict in the log";
+  print_endline "==================================================================";
+  let w = Mx_trace.Kern_compress.generate ~scale:table2_scale ~seed:7 in
+  let config = { Explore.reduced_config with Explore.jobs = !jobs } in
+  let log = Mx_util.Event_log.global in
+  (* both arms cold, so the wall-time comparison is like for like *)
+  Mx_sim.Eval.set_cache_capacity Mx_sim.Eval.default_cache_capacity;
+  Mx_util.Event_log.set_enabled log false;
+  let t0 = Unix.gettimeofday () in
+  let off = Explore.run ~config w in
+  let off_s = Unix.gettimeofday () -. t0 in
+  Mx_sim.Eval.set_cache_capacity Mx_sim.Eval.default_cache_capacity;
+  Mx_util.Event_log.reset log;
+  Mx_util.Event_log.set_enabled log true;
+  let t1 = Unix.gettimeofday () in
+  let on = Explore.run ~config w in
+  let on_s = Unix.gettimeofday () -. t1 in
+  Mx_util.Event_log.set_enabled log false;
+  let events = Mx_util.Event_log.events log in
+  let named n = List.filter (fun (e : Mx_util.Event_log.event) -> e.name = n) events in
+  let key_attr (e : Mx_util.Event_log.event) =
+    match List.assoc_opt "design" e.attrs with
+    | Some (Mx_util.Event_log.Str s) -> Some s
+    | _ -> None
+  in
+  let terminal = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Mx_util.Event_log.event) ->
+      match e.name with
+      | "design.kept" | "design.thinned" | "design.pruned" | "design.selected"
+        ->
+        Option.iter (fun k -> Hashtbl.replace terminal k ()) (key_attr e)
+      | _ -> ())
+    events;
+  let created = named "design.created" in
+  let missing =
+    List.filter
+      (fun e ->
+        match key_attr e with
+        | Some k -> not (Hashtbl.mem terminal k)
+        | None -> true)
+      created
+  in
+  Json_out.record_experiment ~name:"events:off" ~wall_seconds:off_s
+    ~n_estimates:off.Explore.n_estimates ~n_simulations:off.Explore.n_simulations;
+  Json_out.record_experiment ~name:"events:on" ~wall_seconds:on_s
+    ~n_estimates:on.Explore.n_estimates ~n_simulations:on.Explore.n_simulations;
+  Printf.printf
+    "off: %.2fs    on: %.2fs (overhead %.1f%%)    %d events (%d designs, %d \
+     dropped)\n"
+    off_s on_s
+    (100.0 *. ((on_s /. Float.max 1e-9 off_s) -. 1.0))
+    (List.length events) (List.length created)
+    (Mx_util.Event_log.dropped log);
+  check "recording events changes no result"
+    (off.Explore.estimated = on.Explore.estimated
+    && off.Explore.simulated = on.Explore.simulated
+    && off.Explore.pareto_cost_perf = on.Explore.pareto_cost_perf);
+  check "the log is non-empty and nothing was dropped"
+    (events <> [] && Mx_util.Event_log.dropped log = 0);
+  check "every created design has a terminal verdict" (missing = []);
+  Mx_util.Event_log.reset log;
+  print_newline ()
+
 let all () =
   fig3 ();
   fig4 ();
   fig6 ();
   table1 ();
   table2 ();
-  cache ()
+  cache ();
+  events ()

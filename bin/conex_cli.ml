@@ -139,16 +139,88 @@ let trace_out_arg =
   Arg.(
     value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let events_out_arg =
+  let doc =
+    "Record the decision-provenance event stream (cluster merges, assignment \
+     verdicts, per-design lifecycle) and write it as JSONL to $(docv); \
+     inspect it with $(b,conex explain)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "events-out" ] ~docv:"FILE" ~doc)
+
+let chrome_out_arg =
+  let doc =
+    "Write a Chrome trace-event JSON timeline (span slices plus event \
+     instants) to $(docv); load it in Perfetto or chrome://tracing."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "chrome-out" ] ~docv:"FILE" ~doc)
+
+(* Check every output path before any exploration work: a typo'd
+   directory must fail in milliseconds (exit 2, a usage error), not
+   after hours of simulation. *)
+let validate_out_path = function
+  | None -> ()
+  | Some path -> (
+    try
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      close_out oc
+    with Sys_error msg -> die_usage "cannot write to output path: %s" msg)
+
 (* Enable (and clear) the ambient registry before the run when any
-   metrics sink was requested. *)
-let metrics_begin metrics trace_out =
-  if metrics <> None || trace_out <> None then begin
+   metrics sink was requested.  The Chrome exporter is built from the
+   metrics span forest, so --chrome-out implies collection too. *)
+let metrics_begin metrics trace_out chrome_out =
+  if metrics <> None || trace_out <> None || chrome_out <> None then begin
     Mx_util.Metrics.reset Mx_util.Metrics.global;
     Mx_util.Metrics.set_enabled Mx_util.Metrics.global true
   end
 
-let metrics_end metrics trace_out =
-  if metrics <> None || trace_out <> None then begin
+let events_begin events_out chrome_out =
+  if events_out <> None || chrome_out <> None then begin
+    Mx_util.Event_log.reset Mx_util.Event_log.global;
+    Mx_util.Event_log.set_enabled Mx_util.Event_log.global true
+  end
+
+(* Runs before [metrics_end] so the --metrics JSON document stays the
+   last thing on stdout. *)
+let events_end events_out chrome_out =
+  if events_out <> None || chrome_out <> None then begin
+    let log = Mx_util.Event_log.global in
+    Mx_util.Event_log.set_enabled log false;
+    Option.iter
+      (fun path ->
+        (try
+           let oc = open_out path in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () -> output_string oc (Mx_util.Event_log.to_jsonl log))
+         with Sys_error msg -> die_io "cannot write events: %s" msg);
+        Printf.printf "%d events written to %s%s\n"
+          (Mx_util.Event_log.length log)
+          path
+          (match Mx_util.Event_log.dropped log with
+          | 0 -> ""
+          | n -> Printf.sprintf " (%d oldest dropped by the ring bound)" n))
+      events_out;
+    Option.iter
+      (fun path ->
+        let snapshot = Mx_util.Metrics.snapshot Mx_util.Metrics.global in
+        (try
+           let oc = open_out path in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () ->
+               output_string oc
+                 (Mx_util.Event_log.to_chrome_trace ~snapshot
+                    (Mx_util.Event_log.events log)))
+         with Sys_error msg -> die_io "cannot write chrome trace: %s" msg);
+        Printf.printf "chrome trace written to %s\n" path)
+      chrome_out
+  end
+
+let metrics_end metrics trace_out chrome_out =
+  if metrics <> None || trace_out <> None || chrome_out <> None then begin
     let m = Mx_util.Metrics.global in
     Mx_sim.Cycle_sim.record_utilization_gauges ();
     Option.iter
@@ -250,13 +322,15 @@ let parse_scenario s =
 
 let explore_cmd =
   let run name scale seed reduced jobs cache_size scenario plot trace_in csv
-      bus_report metrics trace_out =
+      bus_report metrics trace_out events_out chrome_out =
     (* validate cheap inputs before hours of exploration *)
     let scenario = Option.map parse_scenario scenario in
     if trace_in = None then check_workload_name name;
+    List.iter validate_out_path [ csv; trace_out; events_out; chrome_out ];
     let w = resolve_workload name scale seed trace_in in
     Mx_sim.Eval.set_cache_capacity cache_size;
-    metrics_begin metrics trace_out;
+    metrics_begin metrics trace_out chrome_out;
+    events_begin events_out chrome_out;
     let r = Conex.Explore.run ~config:(config_of_reduced reduced jobs) w in
     Printf.printf
       "%s: %d estimates -> %d simulations -> %d pareto designs (%.1fs)\n\n"
@@ -314,7 +388,8 @@ let explore_cmd =
           stats;
         Mx_util.Table.print t
     end;
-    metrics_end metrics trace_out
+    events_end events_out chrome_out;
+    metrics_end metrics trace_out chrome_out
   in
   let plot_arg =
     Arg.(value & flag & info [ "plot" ] ~doc:"Print an ASCII scatter plot.")
@@ -337,83 +412,48 @@ let explore_cmd =
     Term.(
       const run $ workload_arg $ scale_arg $ seed_arg $ reduced_arg $ jobs_arg
       $ cache_size_arg $ scenario_arg $ plot_arg $ trace_in_arg $ csv_arg
-      $ bus_report_arg $ metrics_arg $ trace_out_arg)
+      $ bus_report_arg $ metrics_arg $ trace_out_arg $ events_out_arg
+      $ chrome_out_arg)
 
 (* -- select: re-select from a saved CSV ---------------------------------- *)
 
 let select_cmd =
   let run path scenario =
     let sc = parse_scenario scenario in
-    let ic =
-      try open_in path with Sys_error msg -> die_io "cannot read CSV: %s" msg
-    in
-    let rows =
+    let content =
+      let ic =
+        try open_in path with Sys_error msg -> die_io "cannot read CSV: %s" msg
+      in
       Fun.protect
         ~finally:(fun () -> close_in ic)
         (fun () ->
           let n = in_channel_length ic in
           really_input_string ic n)
-      |> String.split_on_char '\n'
-      |> List.filter (fun l -> String.trim l <> "")
     in
-    match rows with
-    | [] | [ _ ] -> die_io "no data rows in %s" path
-    | _header :: data ->
-      (* parse CSV rows (quoted fields may contain commas) *)
-      let parse_row line =
-        let fields = ref [] and buf = Buffer.create 32 in
-        let in_q = ref false in
-        String.iter
-          (fun c ->
-            if c = '"' then in_q := not !in_q
-            else if c = ',' && not !in_q then begin
-              fields := Buffer.contents buf :: !fields;
-              Buffer.clear buf
-            end
-            else Buffer.add_char buf c)
-          line;
-        fields := Buffer.contents buf :: !fields;
-        List.rev !fields
-      in
-      let designs =
-        List.filter_map
-          (fun line ->
-            match parse_row line with
-            | [ _wl; mem; conn; cost; lat; energy; _miss; _exact ] -> (
-              try
-                Some
-                  ( mem ^ " | " ^ conn,
-                    float_of_string cost,
-                    float_of_string lat,
-                    float_of_string energy )
-              with Failure _ -> None)
-            | _ -> None)
-          data
-      in
-      let keep (_, c, l, e) =
-        match sc with
-        | Conex.Scenario.Power_constrained v -> e <= v
-        | Conex.Scenario.Cost_constrained v -> c <= v
-        | Conex.Scenario.Perf_constrained v -> l <= v
-      in
-      let x, y =
-        match sc with
-        | Conex.Scenario.Power_constrained _ ->
-          ((fun (_, c, _, _) -> c), fun (_, _, l, _) -> l)
-        | Conex.Scenario.Cost_constrained _ ->
-          ((fun (_, _, l, _) -> l), fun (_, _, _, e) -> e)
-        | Conex.Scenario.Perf_constrained _ ->
-          ((fun (_, c, _, _) -> c), fun (_, _, _, e) -> e)
-      in
-      let front =
-        designs |> List.filter keep |> Mx_util.Pareto.front2 ~x ~y
-      in
-      Printf.printf "%s over %d saved designs:\n"
-        (Conex.Scenario.to_string sc) (List.length designs);
-      List.iter
-        (fun (id, c, l, e) ->
-          Printf.printf "  %8.0f gates  %6.2f cy  %6.2f nJ   %s\n" c l e id)
-        front
+    let designs = Conex.Report.parse_csv content in
+    if designs = [] then die_io "no data rows in %s" path;
+    let keep (_, c, l, e) =
+      match sc with
+      | Conex.Scenario.Power_constrained v -> e <= v
+      | Conex.Scenario.Cost_constrained v -> c <= v
+      | Conex.Scenario.Perf_constrained v -> l <= v
+    in
+    let x, y =
+      match sc with
+      | Conex.Scenario.Power_constrained _ ->
+        ((fun (_, c, _, _) -> c), fun (_, _, l, _) -> l)
+      | Conex.Scenario.Cost_constrained _ ->
+        ((fun (_, _, l, _) -> l), fun (_, _, _, e) -> e)
+      | Conex.Scenario.Perf_constrained _ ->
+        ((fun (_, c, _, _) -> c), fun (_, _, _, e) -> e)
+    in
+    let front = designs |> List.filter keep |> Mx_util.Pareto.front2 ~x ~y in
+    Printf.printf "%s over %d saved designs:\n"
+      (Conex.Scenario.to_string sc) (List.length designs);
+    List.iter
+      (fun (id, c, l, e) ->
+        Printf.printf "  %8.0f gates  %6.2f cy  %6.2f nJ   %s\n" c l e id)
+      front
   in
   let csv_in_arg =
     Arg.(
@@ -436,11 +476,14 @@ let select_cmd =
 (* -- strategies ---------------------------------------------------------- *)
 
 let strategies_cmd =
-  let run name scale seed jobs cache_size metrics trace_out =
+  let run name scale seed jobs cache_size metrics trace_out events_out
+      chrome_out =
     check_workload_name name;
+    List.iter validate_out_path [ trace_out; events_out; chrome_out ];
     let w = make_workload name ~scale ~seed in
     Mx_sim.Eval.set_cache_capacity cache_size;
-    metrics_begin metrics trace_out;
+    metrics_begin metrics trace_out chrome_out;
+    events_begin events_out chrome_out;
     let config = config_of_reduced true jobs in
     let full = Conex.Strategy.run ~config Conex.Strategy.Full w in
     List.iter
@@ -451,19 +494,60 @@ let strategies_cmd =
       [ Conex.Strategy.Pruned; Conex.Strategy.Neighborhood ];
     let rf = Conex.Coverage.eval ~reference:full full in
     Format.printf "%a@." Conex.Coverage.pp rf;
-    metrics_end metrics trace_out
+    events_end events_out chrome_out;
+    metrics_end metrics trace_out chrome_out
   in
   Cmd.v
     (Cmd.info "strategies"
        ~doc:"Compare Pruned / Neighborhood / Full exploration strategies")
     Term.(
       const run $ workload_arg $ scale_arg $ seed_arg $ jobs_arg
-      $ cache_size_arg $ metrics_arg $ trace_out_arg)
+      $ cache_size_arg $ metrics_arg $ trace_out_arg $ events_out_arg
+      $ chrome_out_arg)
+
+(* -- explain: funnel reconstruction from a saved event log --------------- *)
+
+let explain_cmd =
+  let run events_path design =
+    match Mx_util.Event_log.load_jsonl ~path:events_path with
+    | Error msg -> die_io "cannot load events: %s" msg
+    | Ok events -> (
+      match design with
+      | None -> print_string (Conex.Explain.summary events)
+      | Some key -> (
+        match Conex.Explain.lifecycle events ~key with
+        | Ok s -> print_string s
+        | Error msg -> die_usage "%s" msg))
+  in
+  let events_in_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:"JSONL event log produced by 'explore --events-out'.")
+  in
+  let design_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "design" ] ~docv:"KEY"
+          ~doc:
+            "Show the full lifecycle of one design instead of the funnel \
+             summary.  KEY is a structural key (or unique prefix) as printed \
+             in the log's 'design' attributes.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Reconstruct an exploration funnel from a saved event log")
+    Term.(const run $ events_in_arg $ design_arg)
 
 let main_cmd =
   let doc = "Memory system connectivity exploration (ConEx, DATE 2002)" in
   Cmd.group
     (Cmd.info "conex" ~version:"1.0.0" ~doc)
-    [ profile_cmd; apex_cmd; explore_cmd; select_cmd; strategies_cmd ]
+    [
+      profile_cmd; apex_cmd; explore_cmd; select_cmd; strategies_cmd;
+      explain_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,4 +1,5 @@
 module Metrics = Mx_util.Metrics
+module Event_log = Mx_util.Event_log
 
 let choices ~onchip ~offchip (cl : Cluster.t) =
   let pool = if cl.Cluster.offchip then offchip else onchip in
@@ -19,6 +20,12 @@ let enumerate ?(max_designs = max_int) ~onchip ~offchip clusters =
   let per_cluster = List.map (fun cl -> (cl, choices ~onchip ~offchip cl)) clusters in
   if List.exists (fun (_, cs) -> cs = []) per_cluster then begin
     Metrics.incr Metrics.global "assign.infeasible_levels";
+    if Event_log.is_on Event_log.global then
+      Event_log.emit Event_log.global ~stage:"assign" "assign.level_infeasible"
+        [
+          ("clusters", Event_log.Int (List.length clusters));
+          ("reason", Event_log.Str "no_feasible_component");
+        ];
     []
   end
   else begin
@@ -39,6 +46,13 @@ let enumerate ?(max_designs = max_int) ~onchip ~offchip clusters =
         ~by:(max 0 (full_space per_cluster - !count))
         "assign.cap_pruned"
     end;
+    if Event_log.is_on Event_log.global then
+      Event_log.emit Event_log.global ~stage:"assign" "assign.level"
+        [
+          ("clusters", Event_log.Int (List.length clusters));
+          ("enumerated", Event_log.Int !count);
+          ("cap_pruned", Event_log.Int (max 0 (full_space per_cluster - !count)));
+        ];
     List.rev !out
   end
 
@@ -55,10 +69,19 @@ let enumerate_levels ?(order = Cluster.Lowest_bandwidth_first)
            let key = Conn_arch.describe arch in
            if Hashtbl.mem seen key then begin
              Metrics.incr Metrics.global "assign.dedup_pruned";
+             if Event_log.is_on Event_log.global then
+               Event_log.emit Event_log.global ~stage:"assign" "assign.rejected"
+                 [
+                   ("conn", Event_log.Str key);
+                   ("reason", Event_log.Str "duplicate");
+                 ];
              false
            end
            else begin
              Hashtbl.add seen key ();
+             if Event_log.is_on Event_log.global then
+               Event_log.emit Event_log.global ~stage:"assign" "assign.kept"
+                 [ ("conn", Event_log.Str key) ];
              true
            end)
   in

@@ -5,15 +5,31 @@ let of_channel (c : Channel.t) =
 
 let initial channels = List.map of_channel channels
 
+let describe t =
+  let names = List.map Channel.endpoints_to_string t.channels in
+  Printf.sprintf "{%s}" (String.concat ", " names)
+
 let merge a b =
   if a.offchip <> b.offchip then
     invalid_arg "Cluster.merge: cannot mix on-chip and off-chip channels";
   Mx_util.Metrics.incr Mx_util.Metrics.global "cluster.merges";
-  {
-    channels = a.channels @ b.channels;
-    bandwidth = a.bandwidth +. b.bandwidth;
-    offchip = a.offchip;
-  }
+  let merged =
+    {
+      channels = a.channels @ b.channels;
+      bandwidth = a.bandwidth +. b.bandwidth;
+      offchip = a.offchip;
+    }
+  in
+  (let log = Mx_util.Event_log.global in
+   if Mx_util.Event_log.is_on log then
+     Mx_util.Event_log.emit log ~stage:"cluster" "cluster.merge"
+       [
+         ("a", Mx_util.Event_log.Str (describe a));
+         ("b", Mx_util.Event_log.Str (describe b));
+         ("bandwidth", Mx_util.Event_log.Float merged.bandwidth);
+         ("offchip", Mx_util.Event_log.Bool merged.offchip);
+       ]);
+  merged
 
 type order =
   | Lowest_bandwidth_first
@@ -89,10 +105,6 @@ let levels_ordered order channels =
   ls
 
 let levels channels = levels_ordered Lowest_bandwidth_first channels
-
-let describe t =
-  let names = List.map Channel.endpoints_to_string t.channels in
-  Printf.sprintf "{%s}" (String.concat ", " names)
 
 let pp fmt t =
   Format.fprintf fmt "%s bw %.4f%s" (describe t) t.bandwidth

@@ -2,6 +2,7 @@ module Component = Mx_connect.Component
 module Conn_arch = Mx_connect.Conn_arch
 module Brg = Mx_connect.Brg
 module Assign = Mx_connect.Assign
+module Ev = Mx_util.Event_log
 
 type config = {
   apex : Mx_apex.Explore.config;
@@ -61,22 +62,62 @@ type result = {
    dispatched one by one for load balance. *)
 let estimate_chunk = 32
 
+(* Events are never emitted from inside pool workers: workers return
+   [(design, provenance)] pairs, and all emission happens afterwards on
+   the calling domain in [parallel_map]'s deterministic input order, so
+   auto-assigned sequence numbers are identical at every jobs level.
+   Cache provenance still depends on cross-domain timing, so it goes in
+   a separate [eval.cache.provenance] event that the determinism
+   contract exempts (the ["cache."] segment rule). *)
+let emit_evaluated ~stage ~fidelity pairs =
+  if Ev.is_on Ev.global then begin
+    let ftag = Mx_sim.Eval.fidelity_tag fidelity in
+    List.iter
+      (fun ((d : Design.t), prov) ->
+        let key = Design.structural_key d in
+        Ev.emit Ev.global ~stage "design.evaluated"
+          [ ("design", Ev.Str key); ("fidelity", Ev.Str ftag) ];
+        Ev.emit Ev.global ~stage "eval.cache.provenance"
+          [
+            ("design", Ev.Str key);
+            ("fidelity", Ev.Str ftag);
+            ("source", Ev.Str (Mx_sim.Eval.provenance_tag prov));
+          ])
+      pairs
+  end
+
 let connectivity_exploration cfg workload (cand : Mx_apex.Explore.candidate) =
   let brg = Brg.build cand.Mx_apex.Explore.arch cand.Mx_apex.Explore.profile in
   let conns =
     Assign.enumerate_levels ~max_designs_per_level:cfg.max_designs_per_level
       ~onchip:cfg.onchip ~offchip:cfg.offchip brg.Brg.channels
   in
-  Mx_util.Task_pool.parallel_map ~jobs:cfg.jobs ~chunk:estimate_chunk
-    (fun conn ->
-      let est =
-        Mx_sim.Eval.eval ~fidelity:Mx_sim.Eval.Estimate ~workload
-          ~arch:cand.Mx_apex.Explore.arch
-          ~profile:cand.Mx_apex.Explore.profile ~conn ()
-      in
-      Design.make ~workload_name:workload.Mx_trace.Workload.name
-        ~mem:cand.Mx_apex.Explore.arch ~conn ~est ())
-    conns
+  let pairs =
+    Mx_util.Task_pool.parallel_map ~jobs:cfg.jobs ~chunk:estimate_chunk
+      (fun conn ->
+        let est, prov =
+          Mx_sim.Eval.eval_prov ~fidelity:Mx_sim.Eval.Estimate ~workload
+            ~arch:cand.Mx_apex.Explore.arch
+            ~profile:cand.Mx_apex.Explore.profile ~conn ()
+        in
+        ( Design.make ~workload_name:workload.Mx_trace.Workload.name
+            ~mem:cand.Mx_apex.Explore.arch ~conn ~est (),
+          prov ))
+      conns
+  in
+  if Ev.is_on Ev.global then
+    List.iter
+      (fun ((d : Design.t), _) ->
+        Ev.emit Ev.global ~stage:"phase1" "design.created"
+          [
+            ("design", Ev.Str (Design.structural_key d));
+            ("id", Ev.Str (Design.id d));
+            ( "arch",
+              Ev.Str cand.Mx_apex.Explore.arch.Mx_mem.Mem_arch.label );
+          ])
+      pairs;
+  emit_evaluated ~stage:"phase1" ~fidelity:Mx_sim.Eval.Estimate pairs;
+  List.map fst pairs
 
 let axes = [ Design.cost; Design.latency; Design.energy ]
 
@@ -99,19 +140,53 @@ let local_promising cfg designs =
     Mx_util.Metrics.incr Mx_util.Metrics.global ~by:(List.length kept)
       "explore.phase1_kept"
   end;
+  (* terminal Phase I verdict for every input design: kept, thinned off
+     the front by the cost subsample, or pruned — with the competitor
+     that dominates it (pareto fronts preserve physical identity, so
+     [memq] is the membership test) *)
+  if Ev.is_on Ev.global then
+    List.iter
+      (fun (d : Design.t) ->
+        let key = Design.structural_key d in
+        if List.memq d kept then
+          Ev.emit Ev.global ~stage:"phase1" "design.kept"
+            [ ("design", Ev.Str key) ]
+        else if List.memq d front then
+          Ev.emit Ev.global ~stage:"phase1" "design.thinned"
+            [ ("design", Ev.Str key) ]
+        else begin
+          let dominator =
+            match
+              List.find_opt
+                (fun e -> e != d && Mx_util.Pareto.dominates ~axes e d)
+                designs
+            with
+            | Some e -> Design.structural_key e
+            | None -> ""
+          in
+          Ev.emit Ev.global ~stage:"phase1" "design.pruned"
+            [ ("design", Ev.Str key); ("dominated_by", Ev.Str dominator) ]
+        end)
+      designs;
   kept
 
 let fidelity_of_sample = function
   | None -> Mx_sim.Eval.Exact
   | Some (on, off) -> Mx_sim.Eval.Sampled (on, off)
 
-let simulate cfg workload (d : Design.t) =
-  let sim =
-    Mx_sim.Eval.eval
-      ~fidelity:(fidelity_of_sample cfg.sample)
-      ~workload ~arch:d.Design.mem ~conn:d.Design.conn ()
+let evaluate_designs cfg workload ~stage ~fidelity designs =
+  let pairs =
+    Mx_util.Task_pool.parallel_map ~jobs:cfg.jobs ~chunk:1
+      (fun (d : Design.t) ->
+        let sim, prov =
+          Mx_sim.Eval.eval_prov ~fidelity ~workload ~arch:d.Design.mem
+            ~conn:d.Design.conn ()
+        in
+        (Design.with_sim d sim, prov))
+      designs
   in
-  Design.with_sim d sim
+  emit_evaluated ~stage ~fidelity pairs;
+  List.map fst pairs
 
 let run ?(config = default_config) workload =
   let metrics = Mx_util.Metrics.global in
@@ -158,8 +233,9 @@ let run ?(config = default_config) workload =
     Mx_util.Metrics.with_span metrics "explore.phase2" (fun () ->
         Mx_util.Metrics.incr metrics ~by:(List.length survivors)
           "explore.simulations";
-        Mx_util.Task_pool.parallel_map ~jobs:config.jobs ~chunk:1
-          (simulate config workload) survivors)
+        evaluate_designs config workload ~stage:"phase2"
+          ~fidelity:(fidelity_of_sample config.sample)
+          survivors)
   in
   let simulated =
     match config.sample with
@@ -173,16 +249,18 @@ let run ?(config = default_config) workload =
           in
           Mx_util.Metrics.incr metrics ~by:(List.length to_refine)
             "explore.refined";
+          if Ev.is_on Ev.global then
+            List.iter
+              (fun (d : Design.t) ->
+                Ev.emit Ev.global ~stage:"refine" "design.refined"
+                  [ ("design", Ev.Str (Design.structural_key d)) ])
+              to_refine;
           (* re-simulate only the chosen designs, then splice the exact
              results back over their sampled counterparts by structural
              key — the rest of the population is untouched *)
           let refined =
-            Mx_util.Task_pool.parallel_map ~jobs:config.jobs ~chunk:1
-              (fun (d : Design.t) ->
-                Design.with_sim d
-                  (Mx_sim.Eval.eval ~fidelity:Mx_sim.Eval.Exact ~workload
-                     ~arch:d.Design.mem ~conn:d.Design.conn ()))
-              to_refine
+            evaluate_designs config workload ~stage:"refine"
+              ~fidelity:Mx_sim.Eval.Exact to_refine
           in
           let by_key = Hashtbl.create (List.length refined) in
           List.iter
@@ -201,6 +279,15 @@ let run ?(config = default_config) workload =
   in
   Mx_util.Metrics.incr metrics ~by:(List.length pareto_cost_perf)
     "explore.pareto_points";
+  if Ev.is_on Ev.global then
+    List.iter
+      (fun (d : Design.t) ->
+        Ev.emit Ev.global ~stage:"select" "design.selected"
+          [
+            ("design", Ev.Str (Design.structural_key d));
+            ("scenario", Ev.Str "cost_perf");
+          ])
+      pareto_cost_perf;
   {
     workload;
     apex_selected;

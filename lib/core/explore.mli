@@ -81,7 +81,26 @@ val thin_by_cost : keep:int -> Design.t list -> Design.t list
 val local_promising : config -> Design.t list -> Design.t list
 (** Phase I selection: the 3-objective (cost, latency, energy) pareto
     front of one architecture's estimates, thinned to
-    [config.phase1_keep]. *)
+    [config.phase1_keep].  With the event log enabled, emits the
+    terminal Phase I verdict for every input design ([design.kept] /
+    [design.thinned] / [design.pruned] with its dominating
+    competitor). *)
+
+val evaluate_designs :
+  config ->
+  Mx_trace.Workload.t ->
+  stage:string ->
+  fidelity:Mx_sim.Eval.fidelity ->
+  Design.t list ->
+  Design.t list
+(** Evaluate each design at the given fidelity on the task pool
+    ([config.jobs], one design per dispatch) and attach the result with
+    {!Design.with_sim}.  Emits [design.evaluated] and
+    [eval.cache.provenance] events under [stage] for every design — all
+    emission happens serially after the parallel map, in input order,
+    so event sequences are identical at every jobs level.  Used by
+    Phase II ([stage = "phase2"]), refinement ([stage = "refine"]) and
+    the strategy harness. *)
 
 val run : ?config:config -> Mx_trace.Workload.t -> result
 (** The full two-phase ConEx algorithm: APEX selection, per-architecture

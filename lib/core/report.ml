@@ -58,6 +58,45 @@ let to_csv designs =
     (Mx_util.Pareto.sort_by Design.cost designs);
   Buffer.contents buf
 
+(* split one CSV line on unquoted commas; doubled quotes inside a quoted
+   field collapse back to one *)
+let parse_csv_row line =
+  let fields = ref [] and buf = Buffer.create 32 in
+  let in_q = ref false in
+  String.iter
+    (fun c ->
+      if c = '"' then in_q := not !in_q
+      else if c = ',' && not !in_q then begin
+        fields := Buffer.contents buf :: !fields;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    line;
+  fields := Buffer.contents buf :: !fields;
+  List.rev !fields
+
+let parse_csv content =
+  match
+    content
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  with
+  | [] | [ _ ] -> []
+  | _header :: data ->
+    List.filter_map
+      (fun line ->
+        match parse_csv_row line with
+        | [ _wl; mem; conn; cost; lat; energy; _miss; _exact ] -> (
+          try
+            Some
+              ( mem ^ " | " ^ conn,
+                float_of_string cost,
+                float_of_string lat,
+                float_of_string energy )
+          with Failure _ -> None)
+        | _ -> None)
+      data
+
 let save_csv designs ~path =
   let oc = open_out path in
   Fun.protect

@@ -30,6 +30,15 @@ val to_csv : Design.t list -> string
 val save_csv : Design.t list -> path:string -> unit
 (** Write {!to_csv} output to a file (overwrites). *)
 
+val parse_csv : string -> (string * float * float * float) list
+(** Parse a {!to_csv} document back into
+    [(id, cost, latency, energy)] rows, where [id] is
+    ["<memory> | <connectivity>"] ({!Design.id}).  The header line is
+    skipped; quoted fields may contain commas; malformed rows are
+    dropped.  Inverse of {!to_csv} for these four columns — the
+    [conex select] subcommand and the round-trip tests both build on
+    this. *)
+
 val ascii_scatter :
   ?width:int -> ?height:int ->
   x:(Design.t -> float) ->

@@ -21,4 +21,17 @@ let constraint_holds t d =
 
 let select t designs =
   let x, y = frontier_axes t in
-  designs |> List.filter (constraint_holds t) |> Mx_util.Pareto.front2 ~x ~y
+  let chosen =
+    designs |> List.filter (constraint_holds t) |> Mx_util.Pareto.front2 ~x ~y
+  in
+  (let log = Mx_util.Event_log.global in
+   if Mx_util.Event_log.is_on log then
+     List.iter
+       (fun (d : Design.t) ->
+         Mx_util.Event_log.emit log ~stage:"select" "design.selected"
+           [
+             ("design", Mx_util.Event_log.Str (Design.structural_key d));
+             ("scenario", Mx_util.Event_log.Str (to_string t));
+           ])
+       chosen);
+  chosen

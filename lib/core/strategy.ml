@@ -1,3 +1,5 @@
+module Ev = Mx_util.Event_log
+
 type kind = Pruned | Neighborhood | Full
 
 exception Full_infeasible of { projected_sims : int; budget : int }
@@ -63,6 +65,14 @@ let finish kind ~n_estimates ~t0 simulated =
   Mx_util.Metrics.incr m ~by:n_estimates ("strategy." ^ label ^ ".estimates");
   Mx_util.Metrics.incr m ~by:(List.length simulated)
     ("strategy." ^ label ^ ".simulations");
+  (* no wall seconds in the event: timings are never deterministic *)
+  if Ev.is_on Ev.global then
+    Ev.emit Ev.global ~stage:"strategy" "strategy.end"
+      [
+        ("kind", Ev.Str label);
+        ("estimates", Ev.Int n_estimates);
+        ("simulations", Ev.Int (List.length simulated));
+      ];
   {
     kind;
     designs = simulated;
@@ -79,6 +89,9 @@ let run ?(config = Explore.default_config) ?(neighbors = 2)
     ("strategy." ^ String.lowercase_ascii (kind_to_string kind))
   @@ fun () ->
   let t0 = Unix.gettimeofday () in
+  if Ev.is_on Ev.global then
+    Ev.emit Ev.global ~stage:"strategy" "strategy.begin"
+      [ ("kind", Ev.Str (String.lowercase_ascii (kind_to_string kind))) ];
   match kind with
   | Pruned ->
     let r = Explore.run ~config workload in
@@ -97,16 +110,19 @@ let run ?(config = Explore.default_config) ?(neighbors = 2)
           let ests = Explore.connectivity_exploration config workload cand in
           n_estimates := !n_estimates + List.length ests;
           let selected = Explore.local_promising config ests in
-          selected @ neighbors_of ~k:neighbors selected ests)
+          let nbrs = neighbors_of ~k:neighbors selected ests in
+          if Ev.is_on Ev.global then
+            List.iter
+              (fun (d : Design.t) ->
+                Ev.emit Ev.global ~stage:"phase1" "design.neighbor"
+                  [ ("design", Ev.Str (Design.structural_key d)) ])
+              nbrs;
+          selected @ nbrs)
         apex_front
     in
     let simulated =
-      Mx_util.Task_pool.parallel_map ~jobs:config.Explore.jobs ~chunk:1
-        (fun (d : Design.t) ->
-          Design.with_sim d
-            (Mx_sim.Eval.eval
-               ~fidelity:(Explore.fidelity_of_sample config.Explore.sample)
-               ~workload ~arch:d.Design.mem ~conn:d.Design.conn ()))
+      Explore.evaluate_designs config workload ~stage:"phase2"
+        ~fidelity:(Explore.fidelity_of_sample config.Explore.sample)
         survivors
     in
     finish Neighborhood ~n_estimates:!n_estimates ~t0 simulated
@@ -135,25 +151,42 @@ let run ?(config = Explore.default_config) ?(neighbors = 2)
     let projected =
       List.fold_left (fun acc (_, cs) -> acc + List.length cs) 0 per_arch
     in
-    if projected > full_budget then
-      raise (Full_infeasible { projected_sims = projected; budget = full_budget });
-    let flat =
+    if Ev.is_on Ev.global then
+      Ev.emit Ev.global ~stage:"strategy" "strategy.full.projection"
+        [ ("projected", Ev.Int projected); ("budget", Ev.Int full_budget) ];
+    if projected > full_budget then begin
+      if Ev.is_on Ev.global then
+        Ev.emit Ev.global ~stage:"strategy" "strategy.full.infeasible"
+          [ ("projected", Ev.Int projected); ("budget", Ev.Int full_budget) ];
+      raise (Full_infeasible { projected_sims = projected; budget = full_budget })
+    end;
+    (* design records are built serially so their [design.created]
+       events carry deterministic sequence numbers; only the
+       simulations themselves fan out *)
+    let designs =
       List.concat_map
         (fun ((cand : Mx_apex.Explore.candidate), conns) ->
-          List.map (fun conn -> (cand, conn)) conns)
+          List.map
+            (fun conn ->
+              let d =
+                Design.make ~workload_name:workload.Mx_trace.Workload.name
+                  ~mem:cand.Mx_apex.Explore.arch ~conn ()
+              in
+              if Ev.is_on Ev.global then
+                Ev.emit Ev.global ~stage:"phase1" "design.created"
+                  [
+                    ("design", Ev.Str (Design.structural_key d));
+                    ("id", Ev.Str (Design.id d));
+                    ( "arch",
+                      Ev.Str cand.Mx_apex.Explore.arch.Mx_mem.Mem_arch.label );
+                  ];
+              d)
+            conns)
         per_arch
     in
     let simulated =
-      Mx_util.Task_pool.parallel_map ~jobs:config.Explore.jobs ~chunk:1
-        (fun ((cand : Mx_apex.Explore.candidate), conn) ->
-          let d =
-            Design.make ~workload_name:workload.Mx_trace.Workload.name
-              ~mem:cand.Mx_apex.Explore.arch ~conn ()
-          in
-          Design.with_sim d
-            (Mx_sim.Eval.eval
-               ~fidelity:(Explore.fidelity_of_sample config.Explore.sample)
-               ~workload ~arch:d.Design.mem ~conn ()))
-        flat
+      Explore.evaluate_designs config workload ~stage:"phase2"
+        ~fidelity:(Explore.fidelity_of_sample config.Explore.sample)
+        designs
     in
     finish Full ~n_estimates:0 ~t0 simulated

@@ -41,7 +41,16 @@ let workload_fingerprint (w : Workload.t) =
 
 let key ~base fidelity = base ^ "|" ^ fidelity_tag fidelity
 
-let eval ~fidelity ~workload ~arch ?profile ~conn () =
+type provenance = Computed | Cache_hit | Promoted
+
+let provenance_tag = function
+  | Computed -> "computed"
+  | Cache_hit -> "hit"
+  | Promoted -> "promoted"
+
+let prov_of_hit = function true -> Cache_hit | false -> Computed
+
+let eval_prov ~fidelity ~workload ~arch ?profile ~conn () =
   let c = !cache in
   let base =
     workload_fingerprint workload
@@ -55,17 +64,29 @@ let eval ~fidelity ~workload ~arch ?profile ~conn () =
       | Some p -> p
       | None -> invalid_arg "Eval.eval: Estimate fidelity requires ~profile"
     in
-    Memo_cache.find_or_compute c ~key:(key ~base Estimate) (fun () ->
-        Estimator.estimate ~workload ~arch ~profile ~conn)
+    let r, hit =
+      Memo_cache.find_or_compute_prov c ~key:(key ~base Estimate) (fun () ->
+          Estimator.estimate ~workload ~arch ~profile ~conn)
+    in
+    (r, prov_of_hit hit)
   | Exact ->
-    Memo_cache.find_or_compute c ~key:(key ~base Exact) (fun () ->
-        Cycle_sim.run ~workload ~arch ~conn ())
+    let r, hit =
+      Memo_cache.find_or_compute_prov c ~key:(key ~base Exact) (fun () ->
+          Cycle_sim.run ~workload ~arch ~conn ())
+    in
+    (r, prov_of_hit hit)
   | Sampled (on, off) -> (
     (* an exact result for the same design is strictly higher fidelity:
        serve it instead of re-simulating with sampling *)
     match Memo_cache.peek c ~key:(key ~base Exact) with
-    | Some r -> r
+    | Some r -> (r, Promoted)
     | None ->
-      Memo_cache.find_or_compute c
-        ~key:(key ~base (Sampled (on, off)))
-        (fun () -> Cycle_sim.run ~sample:(on, off) ~workload ~arch ~conn ()))
+      let r, hit =
+        Memo_cache.find_or_compute_prov c
+          ~key:(key ~base (Sampled (on, off)))
+          (fun () -> Cycle_sim.run ~sample:(on, off) ~workload ~arch ~conn ())
+      in
+      (r, prov_of_hit hit))
+
+let eval ~fidelity ~workload ~arch ?profile ~conn () =
+  fst (eval_prov ~fidelity ~workload ~arch ?profile ~conn ())

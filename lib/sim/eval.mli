@@ -58,6 +58,29 @@ val eval :
     is supplied, or whenever the underlying evaluator rejects the
     design (unroutable channel, bad sampling windows, empty profile). *)
 
+type provenance =
+  | Computed  (** this call ran the evaluator *)
+  | Cache_hit  (** served from the cache (including single-flight waits) *)
+  | Promoted
+      (** a [Sampled] request served by a resident [Exact] result *)
+
+val provenance_tag : provenance -> string
+(** ["computed"], ["hit"] or ["promoted"] — the stable form used in
+    [eval.cache.provenance] events. *)
+
+val eval_prov :
+  fidelity:fidelity ->
+  workload:Mx_trace.Workload.t ->
+  arch:Mx_mem.Mem_arch.t ->
+  ?profile:Mx_mem.Mem_sim.stats ->
+  conn:Mx_connect.Conn_arch.t ->
+  unit ->
+  Sim_result.t * provenance
+(** {!eval} that also reports where the result came from.  Provenance is
+    schedule-dependent (cache contents depend on cross-domain timing),
+    so events derived from it must carry a [cache.] segment in their
+    name — see {!Mx_util.Event_log.schedule_dependent}. *)
+
 val default_cache_capacity : int
 (** 65536 entries — far above the working set of any bundled experiment,
     so nothing is evicted and cache behaviour stays deterministic. *)

@@ -93,10 +93,10 @@ let evict_to_capacity t =
     ()
   done
 
-let find_or_compute t ~key f =
+let find_or_compute_prov t ~key f =
   if not (enabled t) then begin
     miss t;
-    f ()
+    (f (), false)
   end
   else begin
     Mutex.lock t.mu;
@@ -106,7 +106,7 @@ let find_or_compute t ~key f =
         touch t e;
         Mutex.unlock t.mu;
         hit t;
-        v
+        (v, true)
       | Some { state = Pending; _ } ->
         (* another domain is computing this key: wait for it *)
         Condition.wait t.cond t.mu;
@@ -124,7 +124,7 @@ let find_or_compute t ~key f =
           evict_to_capacity t;
           Condition.broadcast t.cond;
           Mutex.unlock t.mu;
-          v
+          (v, false)
         | exception exn ->
           (* never cache a failure: drop the marker so a later call
              retries, and wake the waiters (they will recompute) *)
@@ -136,6 +136,8 @@ let find_or_compute t ~key f =
     in
     lookup ()
   end
+
+let find_or_compute t ~key f = fst (find_or_compute_prov t ~key f)
 
 let peek t ~key =
   if not (enabled t) then None

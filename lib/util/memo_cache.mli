@@ -52,6 +52,12 @@ val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a
     The computation runs outside the cache lock; see the single-flight
     and failure notes above. *)
 
+val find_or_compute_prov : 'a t -> key:string -> (unit -> 'a) -> 'a * bool
+(** {!find_or_compute} that also reports provenance: [true] when the
+    value was served from the cache (including single-flight waiters
+    that parked while another domain computed it), [false] when this
+    call ran the computation. *)
+
 val peek : 'a t -> key:string -> 'a option
 (** The completed value under [key] if resident: counts a hit and
     refreshes recency when found, records nothing when absent.  Never

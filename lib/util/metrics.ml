@@ -13,7 +13,12 @@ type hist = {
   max_v : float;
 }
 
-type span = { span_name : string; seconds : float; children : span list }
+type span = {
+  span_name : string;
+  start : float;
+  seconds : float;
+  children : span list;
+}
 
 (* A span being built: children accumulate in reverse. *)
 type open_span = {
@@ -29,6 +34,8 @@ type t = {
   gauges : (string, float) Hashtbl.t;
   histograms : (string, hist) Hashtbl.t;
   mutable roots : span list;  (* reversed *)
+  mutable epoch : float;  (* creation/reset instant; span starts are
+                             reported relative to it *)
   stack : open_span list ref Domain.DLS.key;
 }
 
@@ -47,6 +54,7 @@ let create ?(enabled = false) () =
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
     roots = [];
+    epoch = Unix.gettimeofday ();
     stack = Domain.DLS.new_key (fun () -> ref []);
   }
 
@@ -60,6 +68,7 @@ let reset t =
   Hashtbl.reset t.gauges;
   Hashtbl.reset t.histograms;
   t.roots <- [];
+  t.epoch <- Unix.gettimeofday ();
   Mutex.unlock t.mu
 
 (* -- recording ----------------------------------------------------------- *)
@@ -118,6 +127,7 @@ let with_span t name f =
       let closed =
         {
           span_name = sp.o_name;
+          start = sp.o_start -. t.epoch;
           seconds = Unix.gettimeofday () -. sp.o_start;
           children = List.rev sp.o_children;
         }
@@ -274,8 +284,9 @@ let to_json t =
         (json_float (hist_mean h)));
   Buffer.add_string b ",\n  \"spans\": [";
   let rec span_json (sp : span) =
-    Printf.sprintf "{\"name\": \"%s\", \"seconds\": %s, \"children\": [%s]}"
-      (escape sp.span_name) (json_float sp.seconds)
+    Printf.sprintf
+      "{\"name\": \"%s\", \"start\": %s, \"seconds\": %s, \"children\": [%s]}"
+      (escape sp.span_name) (json_float sp.start) (json_float sp.seconds)
       (String.concat ", " (List.map span_json sp.children))
   in
   List.iteri

@@ -71,6 +71,10 @@ type hist = {
 
 type span = {
   span_name : string;
+  start : float;
+      (** open instant in seconds relative to the registry's creation or
+          last {!reset} — together with [seconds] this is enough to
+          rebuild the run's timeline (e.g. as a Chrome trace) *)
   seconds : float;  (** wall-clock duration *)
   children : span list;  (** in open order *)
 }
@@ -107,7 +111,8 @@ val to_json : t -> string
       "gauges":     {"name": float, ...},
       "histograms": {"name": {"unit": s, "count": n, "sum": x,
                               "min": x, "max": x, "mean": x}, ...},
-      "spans":      [{"name": s, "seconds": x, "children": [...]}, ...] }
+      "spans":      [{"name": s, "start": x, "seconds": x,
+                      "children": [...]}, ...] }
     v}
     Keys are sorted; floats are finite decimals (inf/nan render as
     [null]); the document ends with a newline. *)

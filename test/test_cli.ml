@@ -136,14 +136,106 @@ let test_trace_out_file () =
   Helpers.check_true "trace has the span forest"
     (Test_metrics.contains ~needle:"\"spans\"" doc)
 
+(* output paths are validated eagerly: a huge --scale proves no
+   exploration work happened before the rejection *)
 let test_trace_out_unwritable () =
   let r =
     run_conex
-      ([ "explore"; "-w"; "mixed"; "--trace-out"; "/nonexistent/dir/t.json" ]
-      @ fast)
+      [ "explore"; "-w"; "mixed"; "--reduced"; "--scale"; "100000000";
+        "--trace-out"; "/nonexistent/dir/t.json" ]
   in
-  check_exit "unwritable trace path is an I/O error" 1 r;
+  check_exit "unwritable trace path is a usage error (eager)" 2 r;
   check_no_internal_error r
+
+let test_strategies_trace_out_unwritable () =
+  let r =
+    run_conex
+      [ "strategies"; "-w"; "mixed"; "--scale"; "100000000"; "--trace-out";
+        "/nonexistent/dir/t.json" ]
+  in
+  check_exit "strategies validates --trace-out eagerly" 2 r;
+  check_no_internal_error r
+
+let test_events_out_unwritable () =
+  List.iter
+    (fun cmd ->
+      let r =
+        run_conex
+          [ cmd; "-w"; "mixed"; "--scale"; "100000000"; "--events-out";
+            "/nonexistent/dir/e.jsonl" ]
+      in
+      check_exit (cmd ^ " validates --events-out eagerly") 2 r;
+      check_no_internal_error r)
+    [ "explore"; "strategies" ]
+
+let test_events_out_file () =
+  let path = Filename.temp_file "conex_events" ".jsonl" in
+  let ((_, _, _) as r) =
+    run_conex ([ "explore"; "-w"; "mixed"; "--events-out"; path ] @ fast)
+  in
+  check_exit "explore --events-out" 0 r;
+  let ic = open_in_bin path in
+  let doc =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let lines =
+    String.split_on_char '\n' doc |> List.filter (fun l -> String.trim l <> "")
+  in
+  Helpers.check_true "events were recorded" (lines <> []);
+  List.iter
+    (fun line ->
+      match Mx_util.Event_log.event_of_line line with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "unparseable event line (%s): %s" m line)
+    lines;
+  Helpers.check_true "log has terminal verdicts"
+    (Test_metrics.contains ~needle:"design.kept" doc);
+  (* explain reconstructs the funnel from the file we just wrote *)
+  let ((_, out, _) as r2) = run_conex [ "explain"; "--events"; path ] in
+  check_exit "explain on a fresh log" 0 r2;
+  List.iter
+    (fun needle ->
+      Helpers.check_true
+        (Printf.sprintf "explain mentions %s" needle)
+        (Test_metrics.contains ~needle out))
+    [ "Funnel summary"; "Phase I"; "Phase II" ];
+  (* an unknown design key is a usage error *)
+  let r3 =
+    run_conex [ "explain"; "--events"; path; "--design"; "nosuchkey" ]
+  in
+  check_exit "explain --design with a bogus key" 2 r3;
+  check_no_internal_error r3;
+  Sys.remove path
+
+let test_explain_missing_file () =
+  let r =
+    run_conex [ "explain"; "--events"; "/nonexistent/conex-events.jsonl" ]
+  in
+  check_exit "missing event log is an I/O error" 1 r;
+  check_no_internal_error r
+
+let test_chrome_out_file () =
+  let path = Filename.temp_file "conex_chrome" ".json" in
+  let r =
+    run_conex ([ "explore"; "-w"; "mixed"; "--chrome-out"; path ] @ fast)
+  in
+  check_exit "explore --chrome-out" 0 r;
+  let ic = open_in_bin path in
+  let doc =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove path;
+  Test_metrics.check_json "--chrome-out document" doc;
+  List.iter
+    (fun needle ->
+      Helpers.check_true
+        (Printf.sprintf "chrome trace mentions %s" needle)
+        (Test_metrics.contains ~needle doc))
+    [ "traceEvents"; "explore.run:mixed" ]
 
 let test_strategies_metrics () =
   let ((_, out, _) as r) =
@@ -175,7 +267,15 @@ let suite =
         test_select_missing_csv;
       Alcotest.test_case "--metrics json" `Slow test_metrics_json_on_stdout;
       Alcotest.test_case "--trace-out" `Slow test_trace_out_file;
-      Alcotest.test_case "--trace-out unwritable" `Slow
+      Alcotest.test_case "--trace-out unwritable" `Quick
         test_trace_out_unwritable;
+      Alcotest.test_case "strategies --trace-out unwritable" `Quick
+        test_strategies_trace_out_unwritable;
+      Alcotest.test_case "--events-out unwritable" `Quick
+        test_events_out_unwritable;
+      Alcotest.test_case "--events-out + explain" `Slow test_events_out_file;
+      Alcotest.test_case "explain missing file" `Quick
+        test_explain_missing_file;
+      Alcotest.test_case "--chrome-out" `Slow test_chrome_out_file;
       Alcotest.test_case "strategies --metrics" `Slow test_strategies_metrics;
     ] )

@@ -1,0 +1,107 @@
+(* Report.to_csv / Report.parse_csv round trip: every design written by
+   `explore --csv` must re-parse (as `conex select` does) with the same
+   identity, cost, latency and energy — including connectivity
+   descriptions full of commas, which exercise the RFC 4180 quoting. *)
+
+module Design = Conex.Design
+module Report = Conex.Report
+module Explore = Conex.Explore
+
+(* values survive the CSV's fixed %.4f column precision *)
+let round4 v = float_of_string (Printf.sprintf "%.4f" v)
+
+let check_roundtrip designs =
+  let sorted = Mx_util.Pareto.sort_by Design.cost designs in
+  let rows = Report.parse_csv (Report.to_csv designs) in
+  Helpers.check_int "every design re-parsed" (List.length sorted)
+    (List.length rows);
+  List.iter2
+    (fun d (id, cost, lat, energy) ->
+      Helpers.check_true
+        (Printf.sprintf "id %s survives" (Design.id d))
+        (id = Design.id d);
+      Helpers.check_float "cost survives" (float_of_int d.Design.cost_gates)
+        cost;
+      Helpers.check_float "latency survives" (round4 (Design.latency d)) lat;
+      Helpers.check_float "energy survives" (round4 (Design.energy d)) energy)
+    sorted rows
+
+let test_explore_roundtrip () =
+  let w = Helpers.mixed_workload ~scale:3000 () in
+  Mx_sim.Eval.clear_cache ();
+  let config =
+    {
+      Explore.reduced_config with
+      Explore.apex =
+        { Mx_apex.Explore.reduced_config with Mx_apex.Explore.max_selected = 3 };
+      jobs = 1;
+    }
+  in
+  let r = Explore.run ~config w in
+  Helpers.check_true "exploration produced designs"
+    (r.Explore.simulated <> []);
+  check_roundtrip r.Explore.simulated
+
+(* Property: fabricated designs with adversarial metric values (and a
+   quoted multi-bus connectivity id) survive the round trip. *)
+let test_random_designs_roundtrip () =
+  let w = Helpers.mixed_workload ~scale:2000 () in
+  let arch = Helpers.rich_arch w in
+  let brg = Mx_connect.Brg.build arch (Helpers.profile_of arch w) in
+  let conn = Helpers.shared_conn brg in
+  Helpers.check_true "connectivity description needs quoting"
+    (String.contains (Mx_connect.Conn_arch.describe conn) ',');
+  let g = Mx_util.Prng.create ~seed:99 in
+  for _ = 1 to 50 do
+    let sim =
+      {
+        Mx_sim.Sim_result.accesses = 1 + Mx_util.Prng.int g ~bound:100_000;
+        cycles = 1 + Mx_util.Prng.int g ~bound:1_000_000;
+        total_mem_latency = Mx_util.Prng.int g ~bound:1_000_000;
+        avg_mem_latency = 50.0 *. Mx_util.Prng.float g;
+        avg_energy_nj = 10.0 *. Mx_util.Prng.float g;
+        miss_ratio = Mx_util.Prng.float g;
+        bus_wait_cycles = Mx_util.Prng.int g ~bound:10_000;
+        dram_bytes = Mx_util.Prng.int g ~bound:1_000_000;
+        exact = Mx_util.Prng.int g ~bound:2 = 0;
+      }
+    in
+    let d =
+      Design.make ~workload_name:"prop" ~mem:arch ~conn ~sim ()
+    in
+    check_roundtrip [ d ]
+  done
+
+let test_malformed_rows_dropped () =
+  let doc =
+    "workload,memory,connectivity,cost_gates,avg_mem_latency_cycles,avg_energy_nj,miss_ratio,exact\n\
+     w,m,c,100,1.5,2.5,0.1,true\n\
+     not,enough,fields\n\
+     w,m,c,notanumber,1.5,2.5,0.1,true\n"
+  in
+  match Report.parse_csv doc with
+  | [ (id, cost, lat, energy) ] ->
+    Helpers.check_true "id assembled" (id = "m | c");
+    Helpers.check_float "cost" 100.0 cost;
+    Helpers.check_float "latency" 1.5 lat;
+    Helpers.check_float "energy" 2.5 energy
+  | rows -> Alcotest.failf "expected exactly one valid row, got %d" (List.length rows)
+
+let test_empty_csv () =
+  Helpers.check_true "header-only parses to nothing"
+    (Report.parse_csv
+       "workload,memory,connectivity,cost_gates,avg_mem_latency_cycles,avg_energy_nj,miss_ratio,exact\n"
+    = []);
+  Helpers.check_true "empty document parses to nothing" (Report.parse_csv "" = [])
+
+let suite =
+  ( "csv_roundtrip",
+    [
+      Alcotest.test_case "explore --csv round trip" `Slow
+        test_explore_roundtrip;
+      Alcotest.test_case "fabricated designs round trip" `Quick
+        test_random_designs_roundtrip;
+      Alcotest.test_case "malformed rows dropped" `Quick
+        test_malformed_rows_dropped;
+      Alcotest.test_case "empty csv" `Quick test_empty_csv;
+    ] )

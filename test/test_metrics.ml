@@ -236,6 +236,27 @@ let test_span_nesting () =
       && List.for_all (fun c -> c.Metrics.seconds >= 0.0) r.Metrics.children)
   | other -> Alcotest.failf "expected one root span, got %d" (List.length other)
 
+let test_span_start_offsets () =
+  let m = Metrics.create ~enabled:true () in
+  Metrics.with_span m "root" (fun () ->
+      Metrics.with_span m "child" (fun () -> ignore (Sys.opaque_identity 1)));
+  (match (Metrics.snapshot m).Metrics.spans with
+  | [ r ] ->
+    Helpers.check_true "root start is a non-negative offset"
+      (r.Metrics.start >= 0.0);
+    (match r.Metrics.children with
+    | [ c ] ->
+      Helpers.check_true "child opens at or after its parent"
+        (c.Metrics.start >= r.Metrics.start)
+    | _ -> Alcotest.fail "expected one child");
+    Helpers.check_true "start is relative to the registry epoch (small)"
+      (r.Metrics.start < 60.0)
+  | other -> Alcotest.failf "expected one root span, got %d" (List.length other));
+  let doc = Metrics.to_json m in
+  check_json "span start document" doc;
+  Helpers.check_true "span json has a start field"
+    (contains ~needle:"\"start\"" doc)
+
 exception Span_boom
 
 let test_span_closed_on_exception () =
@@ -447,6 +468,7 @@ let suite =
       Alcotest.test_case "gauges" `Quick test_gauges;
       Alcotest.test_case "histograms" `Quick test_histograms;
       Alcotest.test_case "span nesting" `Quick test_span_nesting;
+      Alcotest.test_case "span start offsets" `Quick test_span_start_offsets;
       Alcotest.test_case "span closed on exception" `Quick
         test_span_closed_on_exception;
       Alcotest.test_case "concurrent counters" `Quick test_concurrent_counters;
