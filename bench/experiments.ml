@@ -527,6 +527,55 @@ let events () =
   Mx_util.Event_log.reset log;
   print_newline ()
 
+(* -- correctness harness: invariant suites + shrink path ----------------- *)
+
+let check_harness () =
+  let module Ck = Mx_check.Runner in
+  print_endline "==================================================================";
+  print_endline "Correctness harness -- oracle/invariant suites and the shrink path";
+  print_endline
+    "  every public suite must pass under a fixed master seed, and the";
+  print_endline
+    "  deliberately broken selftest oracle must be caught and shrunk to a";
+  print_endline "  minimal, reproducible counterexample";
+  print_endline "==================================================================";
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    List.map
+      (fun suite -> Ck.run_suite ~master:42 ~count:100 suite)
+      (Mx_check.Suites.all ~jobs:!jobs ())
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let cases =
+    List.fold_left (fun acc (r : Ck.report) -> acc + r.Ck.cases) 0 reports
+  in
+  Printf.printf "%d suites, %d cases in %.2fs\n" (List.length reports) cases
+    wall;
+  List.iter
+    (fun (r : Ck.report) ->
+      check
+        (Printf.sprintf "invariant suite '%s' passes" r.Ck.suite)
+        (r.Ck.failures = []))
+    reports;
+  (match Mx_check.Suites.find "selftest" with
+  | None -> check "selftest suite is resolvable by name" false
+  | Some props -> (
+    let r = Ck.run_suite ~master:42 ~count:10 ("selftest", props) in
+    match r.Ck.failures with
+    | [ f ] ->
+      Printf.printf "selftest counterexample: %s\n  repro: %s\n" f.Ck.message
+        (Ck.repro ~suite:"selftest" f);
+      check "selftest counterexample is caught and shrunk to size 2"
+        (f.Ck.size = 2 && f.Ck.shrunk_from >= f.Ck.size)
+    | fs ->
+      check
+        (Printf.sprintf "selftest produced exactly one failure (got %d)"
+           (List.length fs))
+        false));
+  Json_out.record_experiment ~name:"check" ~wall_seconds:wall ~n_estimates:0
+    ~n_simulations:0;
+  print_newline ()
+
 let all () =
   fig3 ();
   fig4 ();
@@ -534,4 +583,5 @@ let all () =
   table1 ();
   table2 ();
   cache ();
-  events ()
+  events ();
+  check_harness ()

@@ -541,13 +541,103 @@ let explain_cmd =
        ~doc:"Reconstruct an exploration funnel from a saved event log")
     Term.(const run $ events_in_arg $ design_arg)
 
+(* -- check: the model-based correctness harness -------------------------- *)
+
+let check_cmd =
+  let module Suites = Mx_check.Suites in
+  let module Runner = Mx_check.Runner in
+  let run suite seed count list jobs =
+    if list then begin
+      List.iter print_endline Suites.names;
+      exit 0
+    end;
+    if count <= 0 then die_usage "--count must be positive (got %d)" count;
+    if jobs <= 0 then die_usage "--jobs must be positive (got %d)" jobs;
+    let suites =
+      match suite with
+      | None -> Suites.all ~jobs ()
+      | Some name -> (
+        match Suites.find ~jobs name with
+        | Some props -> [ (name, props) ]
+        | None ->
+          die_usage "unknown suite %S (expected %s)" name
+            (String.concat "|" Suites.names))
+    in
+    let fixed = Runner.env_fixed () in
+    (match fixed with
+    | Some (s, z) ->
+      Printf.printf
+        "replaying the fixed case CONEX_CHECK_SEED=%d CONEX_CHECK_SIZE=%d\n" s
+        z
+    | None -> ());
+    let failed = ref false in
+    List.iter
+      (fun (name, props) ->
+        let r = Runner.run_suite ?fixed ~master:seed ~count (name, props) in
+        if r.Runner.failures = [] then
+          Printf.printf "ok   %-12s %3d properties  %5d cases\n%!" name
+            r.Runner.props r.Runner.cases
+        else begin
+          failed := true;
+          Printf.printf "FAIL %-12s %3d properties  %5d cases  %d failing\n%!"
+            name r.Runner.props r.Runner.cases
+            (List.length r.Runner.failures);
+          List.iter
+            (fun (f : Runner.failure) ->
+              Printf.printf "  property: %s\n" f.Runner.prop_name;
+              Printf.printf "    %s\n" f.Runner.message;
+              if f.Runner.shrunk_from > f.Runner.size then
+                Printf.printf "    shrunk from size %d to size %d\n"
+                  f.Runner.shrunk_from f.Runner.size;
+              Printf.printf "    repro: %s\n%!" (Runner.repro ~suite:name f))
+            r.Runner.failures
+        end)
+      suites;
+    if !failed then exit 1
+  in
+  let suite_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "suite" ] ~docv:"NAME"
+          ~doc:
+            "Run a single suite instead of all of them (see --list for the \
+             names).")
+  in
+  let check_seed_arg =
+    let doc =
+      "Master seed; every case seed is derived from it, so one integer \
+       reproduces a whole run."
+    in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let count_arg =
+    let doc =
+      "Case budget per property (properties with cost c run count/c cases, \
+       at least one)."
+    in
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"Print the suite names and exit.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the model-based correctness harness (reference oracles, \
+          invariants, metamorphic properties) over generated inputs.  Exits \
+          0 when every property holds, 1 with a shrunk, reproducible \
+          counterexample otherwise.")
+    Term.(
+      const run $ suite_arg $ check_seed_arg $ count_arg $ list_arg $ jobs_arg)
+
 let main_cmd =
   let doc = "Memory system connectivity exploration (ConEx, DATE 2002)" in
   Cmd.group
     (Cmd.info "conex" ~version:"1.0.0" ~doc)
     [
       profile_cmd; apex_cmd; explore_cmd; select_cmd; strategies_cmd;
-      explain_cmd;
+      explain_cmd; check_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -25,7 +25,8 @@ let () =
   let designs = result.Conex.Explore.simulated in
   Printf.printf "vocoder: %d simulated designs\n" (List.length designs);
 
-  let p50 xs = Mx_util.Stats.percentile xs ~p:50.0 in
+  (* designs is non-empty here (the explore run just produced it) *)
+  let p50 xs = Option.get (Mx_util.Stats.percentile xs ~p:50.0) in
   let e_limit = p50 (List.map Conex.Design.energy designs) in
   let c_limit = p50 (List.map Conex.Design.cost designs) in
   let l_limit = p50 (List.map Conex.Design.latency designs) in

@@ -1,0 +1,150 @@
+module Prng = Mx_util.Prng
+module Region = Mx_trace.Region
+module Synthetic = Mx_trace.Synthetic
+module Params = Mx_mem.Params
+module Mem_arch = Mx_mem.Mem_arch
+module Channel = Mx_connect.Channel
+module Cluster = Mx_connect.Cluster
+
+let grid_points g ~size ~dim =
+  let n = 1 + Prng.int g ~bound:(5 * size) in
+  List.init n (fun _ ->
+      Array.init dim (fun _ -> float_of_int (Prng.int g ~bound:6)))
+
+let continuous_points g ~size ~dim =
+  let n = 1 + Prng.int g ~bound:(5 * size) in
+  List.init n (fun _ -> Array.init dim (fun _ -> Prng.float g))
+
+let floats g ~size = List.init size (fun _ -> Prng.float g *. 100.0)
+
+let onchip_nodes =
+  [| Channel.Cpu; Channel.Cache; Channel.Sram; Channel.Sbuf; Channel.Lldma |]
+
+let channel g =
+  (* dyadic bandwidths (k/8) keep cross-level sums float-exact *)
+  let bandwidth = float_of_int (1 + Prng.int g ~bound:64) /. 8.0 in
+  let txn_bytes = Prng.pick g [| 4.0; 8.0; 16.0; 32.0 |] in
+  if Prng.bool g ~p:0.3 then
+    { Channel.src = Prng.pick g onchip_nodes; dst = Channel.Dram;
+      bandwidth; txn_bytes }
+  else begin
+    let src = Prng.pick g onchip_nodes in
+    let rec pick_dst () =
+      let d = Prng.pick g onchip_nodes in
+      if d = src then pick_dst () else d
+    in
+    { Channel.src; dst = pick_dst (); bandwidth; txn_bytes }
+  end
+
+let channels g ~size =
+  List.init (1 + Prng.int g ~bound:(min 8 (size + 1))) (fun _ -> channel g)
+
+let clusters g ~size =
+  let cls = ref (Cluster.initial (channels g ~size)) in
+  for _ = 1 to Prng.int g ~bound:4 do
+    let arr = Array.of_list !cls in
+    if Array.length arr >= 2 then begin
+      let i = Prng.int g ~bound:(Array.length arr) in
+      let j = Prng.int g ~bound:(Array.length arr) in
+      if i <> j && arr.(i).Cluster.offchip = arr.(j).Cluster.offchip then
+        cls :=
+          Cluster.merge arr.(i) arr.(j)
+          :: List.filteri (fun k _ -> k <> i && k <> j) !cls
+    end
+  done;
+  !cls
+
+let pattern g =
+  Prng.pick g
+    [| Region.Stream; Region.Indexed; Region.Random_access;
+       Region.Self_indirect; Region.Mixed |]
+
+let workload g ~size =
+  let nspecs = 1 + Prng.int g ~bound:(min 4 size) in
+  let specs =
+    List.init nspecs (fun i ->
+        Synthetic.spec
+          ~name:(Printf.sprintf "r%d" i)
+          ~elems:(16 + Prng.int g ~bound:1024)
+          ~share:(0.1 +. (Prng.float g *. 3.9))
+          ~write_frac:(Prng.float g)
+          ~skew:(0.2 +. Prng.float g)
+          (pattern g))
+  in
+  let scale = (200 * size) + 100 + Prng.int g ~bound:200 in
+  Synthetic.generate ~name:"gen" ~specs ~scale
+    ~seed:(Prng.int g ~bound:1_000_000)
+
+let cache g =
+  let size_log = 9 + Prng.int g ~bound:6 in
+  let line_log = 4 + Prng.int g ~bound:3 in
+  let assoc =
+    max 1 (min (1 lsl Prng.int g ~bound:3) (1 lsl (size_log - line_log)))
+  in
+  { Params.c_size = 1 lsl size_log; c_line = 1 lsl line_log;
+    c_assoc = assoc; c_latency = 1 }
+
+let mem_arch_spec g (w : Mx_trace.Workload.t) ~label =
+  let regions = w.Mx_trace.Workload.regions in
+  let bindings = Array.make (List.length regions) Mem_arch.To_cache in
+  let cache = cache g in
+  let sbuf =
+    if Prng.bool g ~p:0.5 then Some (List.hd Mx_mem.Module_lib.stream_buffers)
+    else None
+  and lldma =
+    if Prng.bool g ~p:0.5 then Some (List.hd Mx_mem.Module_lib.lldmas)
+    else None
+  and want_sram = Prng.bool g ~p:0.3 in
+  let sram_bytes = ref 0 in
+  List.iter
+    (fun (r : Region.t) ->
+      match r.Region.hint with
+      | Region.Stream when sbuf <> None ->
+        bindings.(r.Region.id) <- Mem_arch.To_sbuf
+      | Region.Self_indirect when lldma <> None ->
+        bindings.(r.Region.id) <- Mem_arch.To_lldma
+      | Region.Indexed when want_sram && r.Region.size <= 4096 ->
+        bindings.(r.Region.id) <- Mem_arch.To_sram;
+        sram_bytes := !sram_bytes + r.Region.size
+      | _ -> ())
+    regions;
+  let sram =
+    if !sram_bytes > 0 then Some (Mx_mem.Module_lib.sram_for_bytes !sram_bytes)
+    else None
+  in
+  Mem_arch.make ~label ~cache ?sbuf ?lldma ?sram ~bindings ()
+
+let mem_arch g w = mem_arch_spec g w ~label:"gen"
+
+let conn_onchip =
+  lazy
+    [ Mx_connect.Component.by_name "ded32";
+      Mx_connect.Component.by_name "mux32";
+      Mx_connect.Component.by_name "ahb32" ]
+
+let conn_offchip = lazy [ Mx_connect.Component.by_name "off32" ]
+
+let conn g (brg : Mx_connect.Brg.t) =
+  let conns =
+    Mx_connect.Assign.enumerate_levels ~max_designs_per_level:32
+      ~onchip:(Lazy.force conn_onchip) ~offchip:(Lazy.force conn_offchip)
+      brg.Mx_connect.Brg.channels
+  in
+  match conns with
+  | [] -> invalid_arg "Gen.conn: no feasible connectivity for this BRG"
+  | l -> List.nth l (Prng.int g ~bound:(List.length l))
+
+type pipeline = {
+  p_workload : Mx_trace.Workload.t;
+  p_arch : Mx_mem.Mem_arch.t;
+  p_profile : Mx_mem.Mem_sim.stats;
+  p_brg : Mx_connect.Brg.t;
+}
+
+let pipeline g ~size =
+  let w = workload g ~size in
+  let arch = mem_arch g w in
+  let msim = Mx_mem.Mem_sim.create arch ~regions:w.Mx_trace.Workload.regions in
+  let profile = Mx_mem.Mem_sim.run msim w.Mx_trace.Workload.trace in
+  let brg = Mx_connect.Brg.build arch profile in
+  { p_workload = w; p_arch = arch; p_profile = profile; p_brg = brg }

@@ -1,0 +1,298 @@
+module Channel = Mx_connect.Channel
+module Cluster = Mx_connect.Cluster
+module Conn_arch = Mx_connect.Conn_arch
+module Component = Mx_connect.Component
+module Mem_arch = Mx_mem.Mem_arch
+module Mem_sim = Mx_mem.Mem_sim
+module Serving = Mx_sim.Serving
+
+(* -- pareto ------------------------------------------------------------ *)
+
+let dominates ~axes a b =
+  List.for_all (fun f -> f a <= f b) axes
+  && List.exists (fun f -> f a < f b) axes
+
+let pareto_front ~axes pts =
+  List.filter (fun p -> not (List.exists (fun q -> dominates ~axes q p) pts)) pts
+
+(* -- clustering -------------------------------------------------------- *)
+
+let cluster_canon (c : Cluster.t) =
+  (Cluster.describe c, c.Cluster.bandwidth, c.Cluster.offchip)
+
+(* the two lowest-bandwidth clusters of one class, stable on ties *)
+let two_lowest indexed =
+  match
+    List.stable_sort
+      (fun (_, (a : Cluster.t)) (_, (b : Cluster.t)) ->
+        Float.compare a.Cluster.bandwidth b.Cluster.bandwidth)
+      indexed
+  with
+  | a :: b :: _ -> Some (a, b)
+  | _ -> None
+
+let merge_once clusters =
+  let indexed = List.mapi (fun i c -> (i, c)) clusters in
+  let on = List.filter (fun (_, c) -> not c.Cluster.offchip) indexed
+  and off = List.filter (fun (_, c) -> c.Cluster.offchip) indexed in
+  let combined ((_, a), (_, b)) = a.Cluster.bandwidth +. b.Cluster.bandwidth in
+  let pick =
+    match (two_lowest on, two_lowest off) with
+    | None, None -> None
+    | Some p, None | None, Some p -> Some p
+    | Some p_on, Some p_off ->
+      (* smaller combined bandwidth wins; ties go on-chip *)
+      if combined p_on <= combined p_off then Some p_on else Some p_off
+  in
+  match pick with
+  | None -> None
+  | Some ((i, a), (j, b)) ->
+    let merged =
+      {
+        Cluster.channels = a.Cluster.channels @ b.Cluster.channels;
+        bandwidth = a.Cluster.bandwidth +. b.Cluster.bandwidth;
+        offchip = a.Cluster.offchip;
+      }
+    in
+    Some
+      (merged
+      :: List.filter_map
+           (fun (k, c) -> if k = i || k = j then None else Some c)
+           indexed)
+
+let cluster_levels channels =
+  let finest =
+    List.map
+      (fun (ch : Channel.t) ->
+        {
+          Cluster.channels = [ ch ];
+          bandwidth = ch.Channel.bandwidth;
+          offchip = Channel.crosses_chip ch;
+        })
+      channels
+  in
+  let rec go level acc =
+    match merge_once level with
+    | None -> List.rev (level :: acc)
+    | Some next -> go next (level :: acc)
+  in
+  go finest []
+
+(* -- assignment enumeration -------------------------------------------- *)
+
+let assign_feasible ~onchip ~offchip cluster =
+  List.filter (fun comp -> Conn_arch.feasible cluster comp) (onchip @ offchip)
+
+let assign_enumerate ~onchip ~offchip clusters =
+  let choices = List.map (assign_feasible ~onchip ~offchip) clusters in
+  if List.exists (fun cs -> cs = []) choices then []
+  else begin
+    let rec product = function
+      | [] -> [ [] ]
+      | (cluster, comps) :: rest ->
+        let tails = product rest in
+        List.concat_map
+          (fun comp -> List.map (fun t -> (cluster, comp) :: t) tails)
+          comps
+    in
+    List.map Conn_arch.make (product (List.combine clusters choices))
+  end
+
+(* -- straight-line cycle replay ----------------------------------------- *)
+
+(* One routed leg: the component instance that carries a channel. *)
+type leg = { comp : Component.t; idx : int; contended : bool }
+
+let route bindings (src : Channel.node) (dst : Channel.node) =
+  let probe = { Channel.src; dst; bandwidth = 0.0; txn_bytes = 0.0 } in
+  let rec go i = function
+    | [] -> None
+    | (b : Conn_arch.binding) :: rest ->
+      if
+        List.exists (Channel.same_endpoints probe)
+          b.Conn_arch.cluster.Cluster.channels
+      then
+        Some
+          {
+            comp = b.Conn_arch.component;
+            idx = i;
+            contended =
+              List.length b.Conn_arch.cluster.Cluster.channels > 1;
+          }
+      else go (i + 1) rest
+  in
+  go 0 bindings
+
+let replay ~workload ~arch ~conn () =
+  if arch.Mem_arch.l2 <> None then
+    invalid_arg "Oracle.replay: L2 architectures are outside the oracle scope";
+  let bindings = (conn : Conn_arch.t).Conn_arch.bindings in
+  let busy = Array.make (max 1 (List.length bindings)) 0 in
+  let cpu_leg = Array.make 5 None and dram_leg = Array.make 5 None in
+  List.iter
+    (fun sv ->
+      let node = Serving.node_of sv in
+      let i = Serving.index sv in
+      cpu_leg.(i) <- route bindings Channel.Cpu node;
+      if node <> Channel.Dram then
+        dram_leg.(i) <- route bindings node Channel.Dram)
+    Serving.all;
+  let require leg sv =
+    match leg with
+    | Some l -> l
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Oracle.replay: connectivity does not implement the %s channel"
+           (Channel.node_to_string (Serving.node_of sv)))
+  in
+  let msim =
+    Mem_sim.create arch ~regions:workload.Mx_trace.Workload.regions
+  in
+  let trace = workload.Mx_trace.Workload.trace in
+  let n = Mx_trace.Trace.length trace in
+  let ops_rate =
+    if n = 0 then 0.0
+    else float_of_int workload.Mx_trace.Workload.cpu_ops /. float_of_int n
+  in
+  let now = ref 0 in
+  let ops_acc = ref 0.0 in
+  let total_lat = ref 0 in
+  let total_wait = ref 0 in
+  let energy = ref 0.0 in
+  let i = ref 0 in
+  Mx_trace.Trace.iter_packed trace ~f:(fun ~addr ~size ~kind ~region ->
+      let write = kind = Mx_trace.Access.Write in
+      ops_acc := !ops_acc +. ops_rate;
+      let gap = int_of_float !ops_acc in
+      ops_acc := !ops_acc -. float_of_int gap;
+      let o = Mem_sim.access msim ~now:!i ~addr ~size ~write ~region in
+      let sv = o.Mem_sim.serving in
+      let k = Serving.index sv in
+      if o.Mem_sim.l2_bytes > 0 then
+        invalid_arg "Oracle.replay: unexpected L2 traffic";
+      now := !now + gap;
+      (* CPU-side leg: queue behind the component, pay the transaction *)
+      let l1 = require cpu_leg.(k) sv in
+      let start1 = max !now busy.(l1.idx) in
+      let wait1 = start1 - !now in
+      let lat1 =
+        Component.txn_latency l1.comp ~bytes:size ~contended:l1.contended
+      in
+      let occ1 = Component.occupancy l1.comp ~bytes:size in
+      let mem_lat = Serving.module_latency arch sv in
+      let crit =
+        if not o.Mem_sim.dram_critical then 0
+        else
+          Serving.critical_bytes arch sv ~lldma_bytes:o.Mem_sim.dram_bytes
+            ~fallback:size
+      in
+      let bg = o.Mem_sim.dram_bytes - crit in
+      let miss_path = ref 0 in
+      if o.Mem_sim.dram_bytes > 0 then begin
+        let l2 =
+          if sv = Mem_sim.By_dram_direct then l1 else require dram_leg.(k) sv
+        in
+        if crit > 0 then begin
+          let dram_lat = Mx_mem.Dram.access (Mem_sim.dram msim) ~addr in
+          if sv = Mem_sim.By_dram_direct then miss_path := dram_lat
+          else begin
+            let t_req = !now + wait1 + lat1 in
+            let start2 = max t_req busy.(l2.idx) in
+            let wait2 = start2 - t_req in
+            let lat2 =
+              Component.txn_latency l2.comp ~bytes:crit ~contended:l2.contended
+            in
+            busy.(l2.idx) <-
+              start2
+              + Component.occupancy l2.comp ~bytes:crit
+              + (if l2.comp.Component.split_txn then 0 else dram_lat);
+            miss_path := wait2 + lat2 + dram_lat;
+            total_wait := !total_wait + wait2
+          end
+        end;
+        if bg > 0 then begin
+          ignore (Mx_mem.Dram.access (Mem_sim.dram msim) ~addr);
+          busy.(l2.idx) <-
+            max busy.(l2.idx) !now + Component.occupancy l2.comp ~bytes:bg
+        end;
+        energy :=
+          !energy
+          +. Mx_mem.Energy_model.dram_traffic ~txns:o.Mem_sim.dram_txns
+               ~bytes:o.Mem_sim.dram_bytes
+          +. (float_of_int o.Mem_sim.dram_bytes
+             *. Mx_connect.Conn_cost.energy_per_byte l2.comp)
+      end;
+      busy.(l1.idx) <-
+        start1 + occ1
+        + (if l1.comp.Component.split_txn then 0 else !miss_path);
+      let latency = wait1 + lat1 + mem_lat + o.Mem_sim.extra_latency + !miss_path in
+      now := !now + latency;
+      total_lat := !total_lat + latency;
+      total_wait := !total_wait + wait1;
+      energy :=
+        !energy
+        +. Serving.module_energy arch sv ~write
+        +. o.Mem_sim.extra_energy
+        +. (float_of_int size *. Mx_connect.Conn_cost.energy_per_byte l1.comp);
+      incr i);
+  let sampled = max 1 n in
+  let mstats = Mem_sim.snapshot msim in
+  {
+    Mx_sim.Sim_result.accesses = n;
+    cycles = !now;
+    total_mem_latency = !total_lat;
+    avg_mem_latency = float_of_int !total_lat /. float_of_int sampled;
+    avg_energy_nj = !energy /. float_of_int sampled;
+    miss_ratio = Mem_sim.miss_ratio mstats;
+    bus_wait_cycles = !total_wait;
+    dram_bytes = mstats.Mem_sim.dram_bytes_total;
+    exact = true;
+  }
+
+(* -- evaluation without the cache ---------------------------------------- *)
+
+let eval_direct ~fidelity ~workload ~arch ?profile ~conn () =
+  match (fidelity : Mx_sim.Eval.fidelity) with
+  | Mx_sim.Eval.Estimate -> (
+    match profile with
+    | Some profile -> Mx_sim.Estimator.estimate ~workload ~arch ~profile ~conn
+    | None -> invalid_arg "Oracle.eval_direct: Estimate requires a profile")
+  | Mx_sim.Eval.Sampled (on, off) ->
+    Mx_sim.Cycle_sim.run ~sample:(on, off) ~workload ~arch ~conn ()
+  | Mx_sim.Eval.Exact -> Mx_sim.Cycle_sim.run ~workload ~arch ~conn ()
+
+(* -- statistics --------------------------------------------------------- *)
+
+let percentile xs ~p =
+  match List.sort Float.compare xs with
+  | [] -> None
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    Some (List.nth sorted (max 0 (min (n - 1) (rank - 1))))
+
+let stddev xs =
+  let n = List.length xs in
+  if n < 2 then 0.0
+  else begin
+    let mean = List.fold_left ( +. ) 0.0 xs /. float_of_int n in
+    let ss =
+      List.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 xs
+    in
+    sqrt (ss /. float_of_int n)
+  end
+
+let spearman_distinct xs ys =
+  let n = List.length xs in
+  let rank vs v =
+    1 + List.length (List.filter (fun u -> u < v) vs)
+  in
+  let d2 =
+    List.fold_left2
+      (fun acc x y ->
+        let d = float_of_int (rank xs x - rank ys y) in
+        acc +. (d *. d))
+      0.0 xs ys
+  in
+  1.0 -. (6.0 *. d2 /. (float_of_int n *. float_of_int ((n * n) - 1)))

@@ -1,0 +1,86 @@
+(** Obviously-correct reference implementations ("oracles") for the
+    optimised algorithms of the exploration flow.
+
+    Each oracle trades all performance for directness: quadratic
+    filters, exhaustive enumeration, straight-line replay.  The
+    invariant suites ({!Suites}) run the production code and the
+    oracle on the same generated inputs and compare results — any
+    divergence is a bug in one of the two, and the shrunk
+    counterexample usually makes it obvious in which. *)
+
+val dominates : axes:('a -> float) list -> 'a -> 'a -> bool
+(** Textbook dominance: no worse on every axis, strictly better on at
+    least one.  Independent of {!Mx_util.Pareto.dominates}. *)
+
+val pareto_front : axes:('a -> float) list -> 'a list -> 'a list
+(** Quadratic front by definition: every point no input point
+    dominates, in first-occurrence order (duplicates all kept) —
+    the specification of {!Mx_util.Pareto.front}. *)
+
+val cluster_canon : Mx_connect.Cluster.t -> string * float * bool
+(** Canonical comparable form of a cluster: (description, bandwidth,
+    off-chip flag). *)
+
+val cluster_levels :
+  Mx_connect.Channel.t list -> Mx_connect.Cluster.t list list
+(** Naive bottom-up clustering mirroring the documented merge rule:
+    per boundary class the two lowest-bandwidth clusters (stable on
+    ties), across classes the pair with the smaller combined bandwidth
+    (ties to on-chip), merged cluster placed at the head.  The
+    specification of {!Mx_connect.Cluster.levels}. *)
+
+val assign_feasible :
+  onchip:Mx_connect.Component.t list ->
+  offchip:Mx_connect.Component.t list ->
+  Mx_connect.Cluster.t ->
+  Mx_connect.Component.t list
+(** Feasible components for one cluster by direct filtering — the
+    specification of {!Mx_connect.Assign.choices}. *)
+
+val assign_enumerate :
+  onchip:Mx_connect.Component.t list ->
+  offchip:Mx_connect.Component.t list ->
+  Mx_connect.Cluster.t list ->
+  Mx_connect.Conn_arch.t list
+(** Exhaustive cartesian product of per-cluster feasible components
+    (empty when some cluster is infeasible) — the specification of
+    {!Mx_connect.Assign.enumerate} without a cap. *)
+
+val replay :
+  workload:Mx_trace.Workload.t ->
+  arch:Mx_mem.Mem_arch.t ->
+  conn:Mx_connect.Conn_arch.t ->
+  unit ->
+  Mx_sim.Sim_result.t
+(** Straight-line, single-pass replay of the cycle simulator's timing
+    model for the paper's configuration: blocking CPU, no sampling, no
+    L2.  Reuses {!Mx_mem.Mem_sim} for functional outcomes (hits,
+    misses, traffic) and recomputes all connectivity timing
+    (arbitration waits, serialization, bus holds) with plain
+    sequential code and no accounting machinery.
+    @raise Invalid_argument on an architecture with an L2 (outside the
+    oracle's scope) or an unrouted channel. *)
+
+val eval_direct :
+  fidelity:Mx_sim.Eval.fidelity ->
+  workload:Mx_trace.Workload.t ->
+  arch:Mx_mem.Mem_arch.t ->
+  ?profile:Mx_mem.Mem_sim.stats ->
+  conn:Mx_connect.Conn_arch.t ->
+  unit ->
+  Mx_sim.Sim_result.t
+(** Direct recomputation of {!Mx_sim.Eval.eval}: calls the underlying
+    evaluator for the fidelity with no cache involved. *)
+
+val percentile : float list -> p:float -> float option
+(** Nearest-rank percentile by direct sort-and-index — the
+    specification of {!Mx_util.Stats.percentile}. *)
+
+val stddev : float list -> float
+(** Two-pass population standard deviation (0.0 below two elements) —
+    the specification of {!Mx_util.Stats.stddev}. *)
+
+val spearman_distinct : float list -> float list -> float
+(** Closed-form Spearman [1 - 6 sum d^2 / (n (n^2 - 1))] over integer
+    ranks; only valid when each list's values are pairwise distinct —
+    the tie-free specification of {!Mx_util.Stats.spearman}. *)

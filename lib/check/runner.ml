@@ -1,0 +1,113 @@
+module Prng = Mx_util.Prng
+
+type outcome = Pass | Fail of string
+
+type prop = {
+  name : string;
+  cost : int;
+  max_size : int;
+  run : seed:int -> size:int -> outcome;
+}
+
+let prop ?(cost = 1) ?(max_size = 10) name run =
+  if cost < 1 || max_size < 1 then invalid_arg "Runner.prop";
+  { name; cost; max_size; run }
+
+let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
+
+let check cond fmt =
+  Printf.ksprintf (fun s -> if cond then Pass else Fail s) fmt
+
+let rec all_of = function
+  | [] -> Pass
+  | Pass :: rest -> all_of rest
+  | (Fail _ as f) :: _ -> f
+
+type failure = {
+  prop_name : string;
+  seed : int;
+  size : int;
+  shrunk_from : int;
+  message : string;
+}
+
+type report = {
+  suite : string;
+  props : int;
+  cases : int;
+  failures : failure list;
+}
+
+let case_seed ~master ~prop_name i =
+  Prng.subseed (Prng.subseed master (Hashtbl.hash prop_name)) i
+
+(* A generator bug must read as a failure of the property that drew it,
+   never as a crash of the whole run. *)
+let run_case p ~seed ~size =
+  try p.run ~seed ~size with
+  | exn -> Fail (Printf.sprintf "uncaught %s" (Printexc.to_string exn))
+
+let shrink p ~seed ~size ~message =
+  let rec scan s =
+    if s >= size then
+      { prop_name = p.name; seed; size; shrunk_from = size; message }
+    else
+      match run_case p ~seed ~size:s with
+      | Fail msg ->
+        { prop_name = p.name; seed; size = s; shrunk_from = size;
+          message = msg }
+      | Pass -> scan (s + 1)
+  in
+  scan 1
+
+let run_prop ~master ~count p =
+  let iters = max 1 (count / p.cost) in
+  let rec loop i =
+    if i >= iters then (iters, None)
+    else begin
+      let seed = case_seed ~master ~prop_name:p.name i in
+      let size = 1 + (i mod p.max_size) in
+      match run_case p ~seed ~size with
+      | Pass -> loop (i + 1)
+      | Fail message -> (i + 1, Some (shrink p ~seed ~size ~message))
+    end
+  in
+  loop 0
+
+let run_fixed ~seed ~size p =
+  match run_case p ~seed ~size with
+  | Pass -> None
+  | Fail message ->
+    Some { prop_name = p.name; seed; size; shrunk_from = size; message }
+
+let run_suite ?fixed ~master ~count (suite, props) =
+  let cases = ref 0 and failures = ref [] in
+  List.iter
+    (fun p ->
+      let n, failure =
+        match fixed with
+        | Some (seed, size) -> (1, run_fixed ~seed ~size p)
+        | None -> run_prop ~master ~count p
+      in
+      cases := !cases + n;
+      Option.iter (fun f -> failures := f :: !failures) failure)
+    props;
+  { suite; props = List.length props; cases = !cases;
+    failures = List.rev !failures }
+
+let repro ~suite f =
+  Printf.sprintf "CONEX_CHECK_SEED=%d CONEX_CHECK_SIZE=%d conex check --suite %s"
+    f.seed f.size suite
+
+let env_fixed () =
+  match Option.bind (Sys.getenv_opt "CONEX_CHECK_SEED") int_of_string_opt with
+  | None -> None
+  | Some seed ->
+    let size =
+      match
+        Option.bind (Sys.getenv_opt "CONEX_CHECK_SIZE") int_of_string_opt
+      with
+      | Some s when s >= 1 -> s
+      | _ -> 1
+    in
+    Some (seed, size)

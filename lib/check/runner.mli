@@ -1,0 +1,75 @@
+(** Deterministic property runner with integrated shrinking.
+
+    Every case of every property is identified by a [(seed, size)]
+    pair: the property regenerates its inputs from those two integers
+    alone (via the {!Gen} generators), so a failure is reproduced —
+    across runs, machines and CLI invocations — by re-running the
+    suite with [CONEX_CHECK_SEED] and [CONEX_CHECK_SIZE] set.
+
+    Shrinking exploits the same structure: a failing [(seed, size)]
+    case is re-run at the same seed with every smaller size, and the
+    first size that still fails is reported as the minimal
+    counterexample.  No value-level shrinker is needed because size is
+    the complexity knob of every generator. *)
+
+type outcome = Pass | Fail of string
+
+type prop = {
+  name : string;
+  cost : int;
+      (** relative cost of one case; a property runs [count / cost]
+          cases (at least one), so expensive properties scale down *)
+  max_size : int;  (** sizes cycle through [1 .. max_size] *)
+  run : seed:int -> size:int -> outcome;
+}
+
+val prop :
+  ?cost:int -> ?max_size:int -> string -> (seed:int -> size:int -> outcome) ->
+  prop
+(** [cost] defaults to 1, [max_size] to 10. *)
+
+val failf : ('a, unit, string, outcome) format4 -> 'a
+(** [Fail] with a formatted message. *)
+
+val check : bool -> ('a, unit, string, outcome) format4 -> 'a
+(** [check cond fmt ...] is [Pass] when [cond] holds, else the
+    formatted [Fail]. *)
+
+val all_of : outcome list -> outcome
+(** First failure, or [Pass]. *)
+
+type failure = {
+  prop_name : string;
+  seed : int;
+  size : int;  (** minimal failing size found by shrinking *)
+  shrunk_from : int;  (** size of the originally observed failure *)
+  message : string;  (** failure message at the shrunk size *)
+}
+
+type report = {
+  suite : string;
+  props : int;  (** properties run *)
+  cases : int;  (** total generated cases (shrink re-runs excluded) *)
+  failures : failure list;
+}
+
+val case_seed : master:int -> prop_name:string -> int -> int
+(** The seed of case [i] of a property under a master seed — a pure
+    function, so any case can be replayed without running its
+    predecessors. *)
+
+val run_suite :
+  ?fixed:int * int -> master:int -> count:int -> string * prop list -> report
+(** Run one suite.  Each property runs [max 1 (count / cost)] cases,
+    stopping (and shrinking) at its first failure.  With [fixed =
+    (seed, size)] every property instead runs exactly that one case,
+    with no shrinking — the reproduction mode. *)
+
+val repro : suite:string -> failure -> string
+(** The one-line reproduction command for a failure:
+    [CONEX_CHECK_SEED=... CONEX_CHECK_SIZE=... conex check --suite ...]. *)
+
+val env_fixed : unit -> (int * int) option
+(** The [(seed, size)] override from [CONEX_CHECK_SEED] /
+    [CONEX_CHECK_SIZE] (size defaults to 1 when only the seed is set);
+    [None] when the seed variable is unset or unparsable. *)

@@ -1,0 +1,891 @@
+module Prng = Mx_util.Prng
+module Stats = Mx_util.Stats
+module Pareto = Mx_util.Pareto
+module Ev = Mx_util.Event_log
+module Channel = Mx_connect.Channel
+module Cluster = Mx_connect.Cluster
+module Component = Mx_connect.Component
+module Assign = Mx_connect.Assign
+module Conn_arch = Mx_connect.Conn_arch
+module Brg = Mx_connect.Brg
+module Params = Mx_mem.Params
+module Mem_arch = Mx_mem.Mem_arch
+module Mem_sim = Mx_mem.Mem_sim
+module Workload = Mx_trace.Workload
+module Trace = Mx_trace.Trace
+module Sim_result = Mx_sim.Sim_result
+module Serving = Mx_sim.Serving
+module Eval = Mx_sim.Eval
+module Explore = Conex.Explore
+module Design = Conex.Design
+module R = Runner
+
+(* -- shared helpers ----------------------------------------------------- *)
+
+let feq ?(tol = 1e-9) a b = Float.abs (a -. b) <= tol *. (1.0 +. Float.abs b)
+
+(* First divergence between two simulation results, or [None] when they
+   agree (integers exactly, floats within a relative tolerance). *)
+let result_mismatch ?tol (a : Sim_result.t) (b : Sim_result.t) =
+  let ints =
+    [
+      ("accesses", a.accesses, b.accesses);
+      ("cycles", a.cycles, b.cycles);
+      ("total_mem_latency", a.total_mem_latency, b.total_mem_latency);
+      ("bus_wait_cycles", a.bus_wait_cycles, b.bus_wait_cycles);
+      ("dram_bytes", a.dram_bytes, b.dram_bytes);
+    ]
+  and floats =
+    [
+      ("avg_mem_latency", a.avg_mem_latency, b.avg_mem_latency);
+      ("avg_energy_nj", a.avg_energy_nj, b.avg_energy_nj);
+      ("miss_ratio", a.miss_ratio, b.miss_ratio);
+    ]
+  in
+  match List.find_opt (fun (_, x, y) -> x <> y) ints with
+  | Some (f, x, y) -> Some (Printf.sprintf "%s: %d vs %d" f x y)
+  | None -> (
+    match List.find_opt (fun (_, x, y) -> not (feq ?tol x y)) floats with
+    | Some (f, x, y) -> Some (Printf.sprintf "%s: %.12g vs %.12g" f x y)
+    | None ->
+      if a.exact <> b.exact then
+        Some (Printf.sprintf "exact: %b vs %b" a.exact b.exact)
+      else None)
+
+let sorted l = List.sort compare l
+
+(* -- pareto -------------------------------------------------------------- *)
+
+let axes_of_dim dim = List.init dim (fun i (p : float array) -> p.(i))
+
+let front_vs_oracle name points =
+  R.prop name (fun ~seed ~size ->
+      let g = Prng.create ~seed in
+      let dim = 2 + Prng.int g ~bound:2 in
+      let axes = axes_of_dim dim in
+      let pts = points g ~size ~dim in
+      let got = Pareto.front ~axes pts
+      and want = Oracle.pareto_front ~axes pts in
+      R.check (got = want) "front differs from quadratic oracle on %d points"
+        (List.length pts))
+
+let pareto_suite =
+  [
+    front_vs_oracle "front matches quadratic oracle (tied grid points)"
+      Gen.grid_points;
+    front_vs_oracle "front matches quadratic oracle (continuous points)"
+      Gen.continuous_points;
+    R.prop "front is idempotent" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let axes = axes_of_dim 3 in
+        let front = Pareto.front ~axes (Gen.grid_points g ~size ~dim:3) in
+        R.check
+          (Pareto.front ~axes front = front)
+          "front (front pts) <> front pts");
+    R.prop "front is permutation-invariant as a set" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let axes = axes_of_dim 3 in
+        let pts = Gen.grid_points g ~size ~dim:3 in
+        let arr = Array.of_list pts in
+        Prng.shuffle g arr;
+        R.check
+          (sorted (Pareto.front ~axes pts)
+          = sorted (Pareto.front ~axes (Array.to_list arr)))
+          "shuffling the input changed the front");
+    R.prop "front2 agrees with the generic front" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let x (p : float array) = p.(0) and y (p : float array) = p.(1) in
+        let pts = Gen.continuous_points g ~size ~dim:2 in
+        R.check
+          (sorted (Pareto.front2 ~x ~y pts)
+          = sorted (Pareto.front ~axes:[ x; y ] pts))
+          "two-objective sweep disagrees with the quadratic filter");
+  ]
+
+(* -- cluster ------------------------------------------------------------- *)
+
+let canon_levels levels = List.map (List.map Oracle.cluster_canon) levels
+
+let level_invariants ~what chans levels =
+  let n = List.length chans in
+  let total_bw =
+    List.fold_left (fun acc (c : Channel.t) -> acc +. c.Channel.bandwidth) 0.0
+      chans
+  in
+  let finest_ok =
+    match levels with
+    | [] -> R.failf "%s: no levels" what
+    | finest :: _ ->
+      R.check
+        (List.length finest = n)
+        "%s: finest level has %d clusters for %d channels" what
+        (List.length finest) n
+  in
+  let rec steps = function
+    | a :: (b :: _ as rest) ->
+      if List.length b <> List.length a - 1 then
+        R.failf "%s: a merge step went from %d to %d clusters" what
+          (List.length a) (List.length b)
+      else steps rest
+    | _ -> R.Pass
+  in
+  let per_level level =
+    let bw =
+      List.fold_left (fun acc (c : Cluster.t) -> acc +. c.Cluster.bandwidth)
+        0.0 level
+    and nch =
+      List.fold_left
+        (fun acc (c : Cluster.t) -> acc + List.length c.Cluster.channels)
+        0 level
+    in
+    R.all_of
+      [
+        R.check (bw = total_bw) "%s: bandwidth not conserved (%g vs %g)" what
+          bw total_bw;
+        R.check (nch = n) "%s: channels not conserved (%d vs %d)" what nch n;
+        R.check
+          (List.for_all
+             (fun (cl : Cluster.t) ->
+               cl.Cluster.bandwidth
+               = List.fold_left
+                   (fun acc (ch : Channel.t) -> acc +. ch.Channel.bandwidth)
+                   0.0 cl.Cluster.channels
+               && List.for_all
+                    (fun ch -> Channel.crosses_chip ch = cl.Cluster.offchip)
+                    cl.Cluster.channels)
+             level)
+          "%s: a cluster mislabels its bandwidth or boundary class" what;
+      ]
+  in
+  R.all_of (finest_ok :: steps levels :: List.map per_level levels)
+
+let cluster_suite =
+  [
+    R.prop "levels match the naive bottom-up oracle" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let chans = Gen.channels g ~size in
+        R.check
+          (canon_levels (Cluster.levels chans)
+          = canon_levels (Oracle.cluster_levels chans))
+          "clustering hierarchy diverges from the oracle on %d channels"
+          (List.length chans));
+    R.prop "levels satisfy the conservation laws" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let chans = Gen.channels g ~size in
+        let levels = Cluster.levels chans in
+        R.all_of
+          [
+            level_invariants ~what:"levels" chans levels;
+            R.check
+              (Cluster.merge_step (List.nth levels (List.length levels - 1))
+              = None)
+              "the coarsest level still has a legal merge";
+          ]);
+    R.prop "ordered variants satisfy the conservation laws"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let chans = Gen.channels g ~size in
+        R.all_of
+          (List.map
+             (fun (what, order) ->
+               level_invariants ~what chans (Cluster.levels_ordered order chans))
+             [
+               ("highest-first", Cluster.Highest_bandwidth_first);
+               ("random-order", Cluster.Random_order seed);
+             ]));
+    R.prop "merge is additive and rejects class mixing" (fun ~seed ~size:_ ->
+        let g = Prng.create ~seed in
+        let a = Cluster.of_channel (Gen.channel g)
+        and b = Cluster.of_channel (Gen.channel g) in
+        if a.Cluster.offchip = b.Cluster.offchip then begin
+          let m = Cluster.merge a b in
+          R.check
+            (m.Cluster.bandwidth = a.Cluster.bandwidth +. b.Cluster.bandwidth
+            && List.length m.Cluster.channels
+               = List.length a.Cluster.channels
+                 + List.length b.Cluster.channels)
+            "merge is not additive in bandwidth and channels"
+        end
+        else
+          R.check
+            (try
+               ignore (Cluster.merge a b);
+               false
+             with Invalid_argument _ -> true)
+            "merging on-chip with off-chip was not rejected");
+  ]
+
+(* -- assign -------------------------------------------------------------- *)
+
+let small_onchip =
+  lazy
+    [
+      Component.by_name "ded32"; Component.by_name "mux32";
+      Component.by_name "ahb32";
+    ]
+
+let small_offchip =
+  lazy [ Component.by_name "off32"; Component.by_name "off16" ]
+
+let assign_suite =
+  [
+    R.prop "enumerate matches the cartesian oracle" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let onchip = Lazy.force small_onchip
+        and offchip = Lazy.force small_offchip in
+        let cls = Gen.clusters g ~size in
+        let describe l = sorted (List.map Conn_arch.describe l) in
+        let got = Assign.enumerate ~onchip ~offchip cls
+        and want = Oracle.assign_enumerate ~onchip ~offchip cls in
+        R.all_of
+          [
+            R.check
+              (List.length got = List.length want)
+              "enumerated %d designs, oracle enumerates %d" (List.length got)
+              (List.length want);
+            R.check (describe got = describe want)
+              "enumerated design set differs from the oracle";
+          ]);
+    R.prop "choices match the direct feasibility filter" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let onchip = Lazy.force small_onchip
+        and offchip = Lazy.force small_offchip in
+        let cls = Gen.clusters g ~size in
+        R.all_of
+          (List.map
+             (fun cl ->
+               R.check
+                 (Assign.choices ~onchip ~offchip cl
+                 = Oracle.assign_feasible ~onchip ~offchip cl)
+                 "choices differ from the oracle filter for %s"
+                 (Cluster.describe cl))
+             cls));
+    R.prop "an infeasible cluster empties the level" (fun ~seed:_ ~size:_ ->
+        let ch src dst =
+          { Channel.src; dst; bandwidth = 1.0; txn_bytes = 4.0 }
+        in
+        let wide =
+          Cluster.merge
+            (Cluster.of_channel (ch Channel.Cpu Channel.Cache))
+            (Cluster.of_channel (ch Channel.Cpu Channel.Sram))
+        in
+        (* ded32 carries a single channel; the merged cluster has two *)
+        R.check
+          (Assign.enumerate
+             ~onchip:[ Component.by_name "ded32" ]
+             ~offchip:(Lazy.force small_offchip)
+             [ wide ]
+          = [])
+          "a level with an unassignable cluster was not rejected");
+    R.prop "enumerate_levels returns no duplicate designs" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let conns =
+          Assign.enumerate_levels ~max_designs_per_level:64
+            ~onchip:(Lazy.force small_onchip)
+            ~offchip:(Lazy.force small_offchip)
+            (Gen.channels g ~size)
+        in
+        let keys = List.map Conn_arch.describe conns in
+        R.check
+          (List.length keys = List.length (List.sort_uniq compare keys))
+          "duplicate designs survived cross-level deduplication");
+  ]
+
+(* -- trace --------------------------------------------------------------- *)
+
+let trace_suite =
+  [
+    R.prop ~cost:2 "Trace_io round-trip preserves the workload"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let w = Gen.workload g ~size in
+        let w2 = Mx_trace.Trace_io.of_string (Mx_trace.Trace_io.to_string w) in
+        R.all_of
+          [
+            R.check
+              (Workload.fingerprint w2 = Workload.fingerprint w)
+              "round-tripped workload fingerprints differently";
+            R.check
+              (w2.Workload.name = w.Workload.name
+              && w2.Workload.cpu_ops = w.Workload.cpu_ops
+              && w2.Workload.regions = w.Workload.regions)
+              "round-trip changed the name, cpu_ops or region table";
+            R.check
+              (Trace.length w2.Workload.trace = Trace.length w.Workload.trace
+              && Trace.content_hash w2.Workload.trace
+                 = Trace.content_hash w.Workload.trace)
+              "round-trip changed the trace content";
+          ]);
+    R.prop ~cost:2 "Trace_io serialisation is a fixpoint" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let w = Gen.workload g ~size in
+        let s = Mx_trace.Trace_io.to_string w in
+        R.check
+          (Mx_trace.Trace_io.to_string (Mx_trace.Trace_io.of_string s) = s)
+          "to_string (of_string s) <> s");
+  ]
+
+(* -- stats --------------------------------------------------------------- *)
+
+let stats_suite =
+  [
+    R.prop "percentile matches the sort-and-index oracle" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let xs = Gen.floats g ~size:(1 + Prng.int g ~bound:(5 * size)) in
+        let p = float_of_int (Prng.int g ~bound:101) in
+        R.check
+          (Stats.percentile xs ~p = Oracle.percentile xs ~p)
+          "percentile %.0f differs from the oracle on %d samples" p
+          (List.length xs));
+    R.prop "percentile is total on degenerate inputs" (fun ~seed ~size:_ ->
+        let g = Prng.create ~seed in
+        let x = Prng.float g *. 100.0 in
+        R.all_of
+          [
+            R.check (Stats.percentile [] ~p:50.0 = None)
+              "empty input did not yield None";
+            R.all_of
+              (List.map
+                 (fun p ->
+                   R.check
+                     (Stats.percentile [ x ] ~p = Some x)
+                     "singleton is not its own %.0fth percentile" p)
+                 [ 0.0; 50.0; 100.0 ]);
+          ]);
+    R.prop "stddev matches the two-pass oracle" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let xs = Gen.floats g ~size:(Prng.int g ~bound:(5 * size)) in
+        let got = Stats.stddev xs and want = Oracle.stddev xs in
+        R.check
+          (feq ~tol:1e-6 got want)
+          "stddev %.9g differs from oracle %.9g on %d samples" got want
+          (List.length xs));
+    R.prop "spearman matches the closed form on distinct values"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let n = size + 2 in
+        let permuted () =
+          let arr = Array.init n float_of_int in
+          Prng.shuffle g arr;
+          Array.to_list arr
+        in
+        let xs = permuted () and ys = permuted () in
+        match Stats.spearman xs ys with
+        | None -> R.failf "spearman undefined on %d distinct pairs" n
+        | Some rho ->
+          let want = Oracle.spearman_distinct xs ys in
+          R.check
+            (feq ~tol:1e-9 rho want)
+            "spearman %.12g differs from closed form %.12g" rho want);
+    R.prop "spearman is invariant under monotone transforms"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let n = size + 2 in
+        let xs = Gen.floats g ~size:n and ys = Gen.floats g ~size:n in
+        let xs' = List.map (fun x -> (2.0 *. x) +. 1.0) xs in
+        match (Stats.spearman xs ys, Stats.spearman xs' ys) with
+        | Some a, Some b ->
+          R.check (feq ~tol:1e-12 a b)
+            "rank correlation changed under x -> 2x + 1 (%.12g vs %.12g)" a b
+        | a, b ->
+          R.check ((a = None) = (b = None))
+            "definedness changed under a monotone transform");
+  ]
+
+(* -- fingerprint --------------------------------------------------------- *)
+
+let fingerprint_suite =
+  [
+    R.prop "memory fingerprint ignores the label" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let w = Gen.workload g ~size in
+        let g2 = Prng.copy g in
+        let a = Gen.mem_arch_spec g w ~label:"alpha"
+        and b = Gen.mem_arch_spec g2 w ~label:"beta" in
+        R.check
+          (Mem_arch.fingerprint a = Mem_arch.fingerprint b)
+          "relabeling the same structure changed the fingerprint");
+    R.prop "memory fingerprint is sensitive to structure" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let w = Gen.workload g ~size in
+        let bindings =
+          Array.make (List.length w.Workload.regions) Mem_arch.To_cache
+        in
+        let cache = Gen.cache g in
+        let base = Mem_arch.make ~label:"base" ~cache ~bindings () in
+        let bigger =
+          Mem_arch.make ~label:"base"
+            ~cache:{ cache with Params.c_size = cache.Params.c_size * 2 }
+            ~bindings ()
+        and with_sbuf =
+          Mem_arch.make ~label:"base" ~cache
+            ~sbuf:(List.hd Mx_mem.Module_lib.stream_buffers)
+            ~bindings ()
+        in
+        R.all_of
+          [
+            R.check
+              (Mem_arch.fingerprint base <> Mem_arch.fingerprint bigger)
+              "doubling the cache did not change the fingerprint";
+            R.check
+              (Mem_arch.fingerprint base <> Mem_arch.fingerprint with_sbuf)
+              "adding a stream buffer did not change the fingerprint";
+          ]);
+    R.prop ~cost:2 "connectivity fingerprint ignores assembly order"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let p = Gen.pipeline g ~size in
+        let conn = Gen.conn g p.Gen.p_brg in
+        let pairs =
+          List.map
+            (fun (b : Conn_arch.binding) ->
+              (b.Conn_arch.cluster, b.Conn_arch.component))
+            conn.Conn_arch.bindings
+        in
+        let reversed = Conn_arch.make (List.rev pairs) in
+        R.check
+          (Conn_arch.fingerprint reversed = Conn_arch.fingerprint conn)
+          "reversing the binding order changed the fingerprint");
+    R.prop ~cost:2 "workload fingerprint is content-addressed"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let w = Gen.workload g ~size in
+        let again = Gen.workload (Prng.create ~seed) ~size in
+        let renamed = { w with Workload.name = w.Workload.name ^ "x" } in
+        R.all_of
+          [
+            R.check
+              (Workload.fingerprint again = Workload.fingerprint w)
+              "regenerating from the same seed changed the fingerprint";
+            R.check
+              (Workload.fingerprint renamed <> Workload.fingerprint w)
+              "renaming the workload did not change the fingerprint";
+          ]);
+  ]
+
+(* -- sim ----------------------------------------------------------------- *)
+
+let sim_suite =
+  [
+    R.prop ~cost:4 "cycle simulator matches the straight-line replay oracle"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let p = Gen.pipeline g ~size in
+        let w = p.Gen.p_workload and arch = p.Gen.p_arch in
+        let conn = Gen.conn g p.Gen.p_brg in
+        let sim = Mx_sim.Cycle_sim.run ~workload:w ~arch ~conn ()
+        and orc = Oracle.replay ~workload:w ~arch ~conn () in
+        (match result_mismatch sim orc with
+        | None -> R.Pass
+        | Some diff ->
+          R.failf "simulator diverges from the replay oracle: %s" diff));
+    R.prop ~cost:4 "cycle simulator is deterministic" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let p = Gen.pipeline g ~size in
+        let conn = Gen.conn g p.Gen.p_brg in
+        let run () =
+          Mx_sim.Cycle_sim.run ~workload:p.Gen.p_workload ~arch:p.Gen.p_arch
+            ~conn ()
+        in
+        R.check (run () = run ()) "two identical runs disagree");
+    R.prop ~cost:4 "sampled simulation is a fidelity-bounded estimate"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let p = Gen.pipeline g ~size in
+        let w = p.Gen.p_workload and arch = p.Gen.p_arch in
+        let conn = Gen.conn g p.Gen.p_brg in
+        let exact = Mx_sim.Cycle_sim.run ~workload:w ~arch ~conn ()
+        and sampled =
+          Mx_sim.Cycle_sim.run ~sample:(50, 450) ~workload:w ~arch ~conn ()
+        in
+        R.all_of
+          [
+            R.check (exact.Sim_result.exact && not sampled.Sim_result.exact)
+              "exactness flags are wrong";
+            R.check
+              (sampled.Sim_result.accesses = exact.Sim_result.accesses)
+              "sampling changed the functional access count";
+            R.check
+              (sampled.Sim_result.miss_ratio = exact.Sim_result.miss_ratio
+              && sampled.Sim_result.dram_bytes = exact.Sim_result.dram_bytes)
+              "sampling changed functional outcomes (misses / traffic)";
+            (let e = exact.Sim_result.avg_mem_latency
+             and s = sampled.Sim_result.avg_mem_latency in
+             R.check
+               (s >= e /. 10.0 && s <= (e *. 10.0) +. 1.0)
+               "sampled latency %.3f is out of band around exact %.3f" s e);
+          ]);
+  ]
+
+(* -- eval ---------------------------------------------------------------- *)
+
+let with_default_cache f =
+  Fun.protect
+    ~finally:(fun () -> Eval.set_cache_capacity Eval.default_cache_capacity)
+    f
+
+let eval_fidelities = [ Eval.Estimate; Eval.Sampled (100, 900); Eval.Exact ]
+
+let fid_name = Eval.fidelity_tag
+
+let eval_suite =
+  [
+    R.prop ~cost:5 "eval matches direct recomputation at every fidelity"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let p = Gen.pipeline g ~size in
+        let conn = Gen.conn g p.Gen.p_brg in
+        let w = p.Gen.p_workload
+        and arch = p.Gen.p_arch
+        and profile = p.Gen.p_profile in
+        R.all_of
+          (List.map
+             (fun fidelity ->
+               Eval.clear_cache ();
+               let via_cache =
+                 Eval.eval ~fidelity ~workload:w ~arch ~profile ~conn ()
+               and direct =
+                 Oracle.eval_direct ~fidelity ~workload:w ~arch ~profile ~conn
+                   ()
+               in
+               R.check (via_cache = direct)
+                 "cached eval differs from direct recomputation at %s"
+                 (fid_name fidelity))
+             eval_fidelities));
+    R.prop ~cost:5 "disabling the cache does not change results"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let p = Gen.pipeline g ~size in
+        let conn = Gen.conn g p.Gen.p_brg in
+        let w = p.Gen.p_workload and arch = p.Gen.p_arch in
+        with_default_cache (fun () ->
+            Eval.set_cache_capacity 0;
+            let off =
+              Eval.eval ~fidelity:Eval.Exact ~workload:w ~arch ~conn ()
+            in
+            Eval.set_cache_capacity Eval.default_cache_capacity;
+            let on1 =
+              Eval.eval ~fidelity:Eval.Exact ~workload:w ~arch ~conn ()
+            and on2 =
+              Eval.eval ~fidelity:Eval.Exact ~workload:w ~arch ~conn ()
+            in
+            R.check (off = on1 && on1 = on2)
+              "cache-on and cache-off evaluations disagree"));
+    R.prop ~cost:5 "an Exact result is promoted to serve Sampled requests"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let p = Gen.pipeline g ~size in
+        let conn = Gen.conn g p.Gen.p_brg in
+        let w = p.Gen.p_workload and arch = p.Gen.p_arch in
+        Eval.clear_cache ();
+        let exact = Eval.eval ~fidelity:Eval.Exact ~workload:w ~arch ~conn () in
+        let r, prov =
+          Eval.eval_prov ~fidelity:(Eval.Sampled (100, 900)) ~workload:w ~arch
+            ~conn ()
+        in
+        R.all_of
+          [
+            R.check (prov = Eval.Promoted)
+              "Sampled after Exact was %s, not promoted"
+              (Eval.provenance_tag prov);
+            R.check (r = exact) "the promoted result differs from the Exact one";
+          ]);
+    R.prop ~cost:5 "a repeated evaluation is a cache hit with equal result"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let p = Gen.pipeline g ~size in
+        let conn = Gen.conn g p.Gen.p_brg in
+        let w = p.Gen.p_workload and arch = p.Gen.p_arch in
+        Eval.clear_cache ();
+        let r1, p1 =
+          Eval.eval_prov ~fidelity:Eval.Exact ~workload:w ~arch ~conn ()
+        in
+        let r2, p2 =
+          Eval.eval_prov ~fidelity:Eval.Exact ~workload:w ~arch ~conn ()
+        in
+        R.all_of
+          [
+            R.check (p1 = Eval.Computed) "first evaluation was not computed";
+            R.check (p2 = Eval.Cache_hit) "second evaluation missed the cache";
+            R.check (r1 = r2) "hit returned a different result";
+          ]);
+  ]
+
+(* -- pipeline ------------------------------------------------------------ *)
+
+let pipeline_suite =
+  [
+    R.prop ~cost:3 "per-serving profile partitions the trace"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let p = Gen.pipeline g ~size in
+        let s = p.Gen.p_profile in
+        let total =
+          List.fold_left
+            (fun acc sv -> acc + s.Mem_sim.cpu_accesses sv)
+            0 Serving.all
+        in
+        R.all_of
+          [
+            R.check
+              (total = s.Mem_sim.accesses)
+              "serving classes sum to %d but the trace has %d accesses" total
+              s.Mem_sim.accesses;
+            R.check
+              (s.Mem_sim.demand_misses <= s.Mem_sim.accesses)
+              "more demand misses (%d) than accesses (%d)"
+              s.Mem_sim.demand_misses s.Mem_sim.accesses;
+          ]);
+    R.prop ~cost:3 "cycle simulation is finite and positive"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let p = Gen.pipeline g ~size in
+        let conn = Gen.conn g p.Gen.p_brg in
+        let r =
+          Mx_sim.Cycle_sim.run ~workload:p.Gen.p_workload ~arch:p.Gen.p_arch
+            ~conn ()
+        in
+        R.check
+          (Float.is_finite r.Sim_result.avg_mem_latency
+          && r.Sim_result.avg_mem_latency > 0.0
+          && Float.is_finite r.Sim_result.avg_energy_nj
+          && r.Sim_result.avg_energy_nj >= 0.0
+          && r.Sim_result.cycles >= r.Sim_result.accesses)
+          "cycle simulation produced non-finite or non-positive metrics");
+    R.prop ~cost:3 "estimator is finite on any pipeline" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let p = Gen.pipeline g ~size in
+        let conn = Gen.conn g p.Gen.p_brg in
+        let e =
+          Mx_sim.Estimator.estimate ~workload:p.Gen.p_workload
+            ~arch:p.Gen.p_arch ~profile:p.Gen.p_profile ~conn
+        in
+        R.check
+          (Float.is_finite e.Sim_result.avg_mem_latency
+          && e.Sim_result.avg_mem_latency > 0.0
+          && Float.is_finite e.Sim_result.avg_energy_nj)
+          "estimator produced non-finite or non-positive metrics");
+    R.prop ~cost:3 "every enumerated assignment is internally feasible"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let p = Gen.pipeline g ~size in
+        let conns =
+          Assign.enumerate_levels ~max_designs_per_level:64
+            ~onchip:Component.onchip_library
+            ~offchip:Component.offchip_library
+            p.Gen.p_brg.Brg.channels
+        in
+        R.all_of
+          [
+            R.check (conns <> []) "full library enumerated no designs";
+            R.check
+              (List.for_all
+                 (fun (c : Conn_arch.t) ->
+                   List.for_all
+                     (fun (b : Conn_arch.binding) ->
+                       Conn_arch.feasible b.Conn_arch.cluster
+                         b.Conn_arch.component)
+                     c.Conn_arch.bindings)
+                 conns)
+              "an enumerated design carries an infeasible binding";
+          ]);
+  ]
+
+(* -- explore ------------------------------------------------------------- *)
+
+let small_config ~jobs =
+  {
+    Explore.reduced_config with
+    apex = { Mx_apex.Explore.reduced_config with max_selected = 2 };
+    max_designs_per_level = 64;
+    phase1_keep = 6;
+    refine_top = 0;
+    jobs;
+  }
+
+let design_keys (ds : Design.t list) =
+  List.map
+    (fun d -> (Design.structural_key d, Design.cost d, Design.latency d,
+               Design.energy d))
+    ds
+
+let run_summary (r : Explore.result) =
+  ( r.Explore.n_estimates,
+    r.Explore.n_simulations,
+    design_keys r.Explore.simulated,
+    design_keys r.Explore.pareto_cost_perf )
+
+let kernel_rank_floor (name, generate, floor) =
+  R.prop ~cost:1_000_000 ~max_size:1
+    (Printf.sprintf "estimate ranks track exact simulation (%s)" name)
+    (fun ~seed:_ ~size:_ ->
+      let w = generate ~scale:4000 ~seed:7 in
+      let cache =
+        { Params.c_size = 1024; c_line = 16; c_assoc = 2; c_latency = 1 }
+      in
+      let bindings =
+        Array.make (List.length w.Workload.regions) Mem_arch.To_cache
+      in
+      let arch = Mem_arch.make ~label:(name ^ "-cache") ~cache ~bindings () in
+      let msim = Mem_sim.create arch ~regions:w.Workload.regions in
+      let profile = Mem_sim.run msim w.Workload.trace in
+      let brg = Brg.build arch profile in
+      let conns =
+        Assign.enumerate_levels ~max_designs_per_level:16
+          ~onchip:
+            [
+              Component.by_name "ded32"; Component.by_name "mux32";
+              Component.by_name "apb32"; Component.by_name "ahb32";
+            ]
+          ~offchip:(Lazy.force small_offchip) brg.Brg.channels
+      in
+      let ests =
+        List.map
+          (fun conn ->
+            (Mx_sim.Estimator.estimate ~workload:w ~arch ~profile ~conn)
+              .Sim_result.avg_mem_latency)
+          conns
+      and exacts =
+        List.map
+          (fun conn ->
+            (Mx_sim.Cycle_sim.run ~workload:w ~arch ~conn ())
+              .Sim_result.avg_mem_latency)
+          conns
+      in
+      match Stats.spearman ests exacts with
+      | None ->
+        R.failf "rank correlation undefined over %d connectivities"
+          (List.length conns)
+      | Some rho ->
+        R.check (rho >= floor)
+          "spearman %.3f below the pinned floor %.2f over %d connectivities"
+          rho floor (List.length conns))
+
+let explore_suite ~jobs =
+  [
+    R.prop ~cost:60 ~max_size:2 "cache-on and cache-off explorations agree"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let w = Gen.workload g ~size in
+        let config = small_config ~jobs:1 in
+        with_default_cache (fun () ->
+            Eval.set_cache_capacity Eval.default_cache_capacity;
+            let on = Explore.run ~config w in
+            Eval.set_cache_capacity 0;
+            let off = Explore.run ~config w in
+            R.check
+              (run_summary on = run_summary off)
+              "caching changed the exploration outcome"));
+    R.prop ~cost:60 ~max_size:2 "jobs=1 and jobs=N explorations agree"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let w = Gen.workload g ~size in
+        with_default_cache (fun () ->
+            (* disable the cache so the parallel arm cannot be served
+               results computed by the serial one *)
+            Eval.set_cache_capacity 0;
+            let serial = Explore.run ~config:(small_config ~jobs:1) w in
+            let parallel =
+              Explore.run ~config:(small_config ~jobs:(max 2 jobs)) w
+            in
+            R.check
+              (run_summary serial = run_summary parallel)
+              "jobs=1 and jobs=%d disagree" (max 2 jobs)));
+    kernel_rank_floor
+      ("compress", Mx_trace.Kern_compress.generate, 0.8);
+    kernel_rank_floor ("fft", Mx_trace.Kern_fft.generate, 0.9);
+    R.prop ~cost:60 ~max_size:2
+      "every phase-1 design gets exactly one terminal verdict"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let w = Gen.workload g ~size in
+        let was = Ev.is_on Ev.global in
+        Ev.reset Ev.global;
+        Ev.set_enabled Ev.global true;
+        Fun.protect
+          ~finally:(fun () ->
+            Ev.set_enabled Ev.global was;
+            Ev.reset Ev.global)
+          (fun () ->
+            ignore (Explore.run ~config:(small_config ~jobs:1) w);
+            let evs = Ev.events Ev.global in
+            let count name =
+              List.length
+                (List.filter
+                   (fun (e : Ev.event) ->
+                     e.Ev.stage = "phase1" && e.Ev.name = name)
+                   evs)
+            in
+            let created = count "design.created"
+            and kept = count "design.kept"
+            and thinned = count "design.thinned"
+            and pruned = count "design.pruned" in
+            R.all_of
+              [
+                R.check (created > 0) "no phase-1 designs were created";
+                R.check
+                  (created = kept + thinned + pruned)
+                  "%d designs created but %d verdicts (%d kept, %d thinned, \
+                   %d pruned)"
+                  created
+                  (kept + thinned + pruned)
+                  kept thinned pruned;
+              ]));
+  ]
+
+(* -- selftest ------------------------------------------------------------ *)
+
+(* Intentionally broken oracle (sample instead of population variance):
+   passes at size 1, fails at any size with two spread samples, so the
+   runner must shrink every failure to size 2.  Used by the CLI contract
+   tests to exercise the failure path end to end. *)
+let selftest_suite =
+  [
+    R.prop "stddev matches a (deliberately wrong) sample-variance oracle"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let xs = Gen.floats g ~size in
+        let n = List.length xs in
+        let broken =
+          if n < 2 then 0.0
+          else begin
+            let mean = List.fold_left ( +. ) 0.0 xs /. float_of_int n in
+            let ss =
+              List.fold_left
+                (fun acc x -> acc +. ((x -. mean) *. (x -. mean)))
+                0.0 xs
+            in
+            sqrt (ss /. float_of_int (n - 1))
+          end
+        in
+        let got = Stats.stddev xs in
+        R.check
+          (feq ~tol:1e-9 got broken)
+          "stddev %.9g <> oracle %.9g on %d samples" got broken n);
+  ]
+
+(* -- registry ------------------------------------------------------------ *)
+
+let names =
+  [
+    "pareto"; "cluster"; "assign"; "trace"; "stats"; "fingerprint"; "sim";
+    "eval"; "pipeline"; "explore";
+  ]
+
+let all ?(jobs = Mx_util.Task_pool.default_jobs ()) () =
+  [
+    ("pareto", pareto_suite);
+    ("cluster", cluster_suite);
+    ("assign", assign_suite);
+    ("trace", trace_suite);
+    ("stats", stats_suite);
+    ("fingerprint", fingerprint_suite);
+    ("sim", sim_suite);
+    ("eval", eval_suite);
+    ("pipeline", pipeline_suite);
+    ("explore", explore_suite ~jobs);
+  ]
+
+let find ?jobs name =
+  if name = "selftest" then Some selftest_suite
+  else List.assoc_opt name (all ?jobs ())

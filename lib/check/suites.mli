@@ -1,0 +1,40 @@
+(** The invariant/metamorphic/oracle catalogue run by [conex check].
+
+    Each suite bundles the properties of one subsystem:
+
+    - [pareto]      front vs quadratic oracle, idempotence, permutation
+                    invariance, front2/front agreement
+    - [cluster]     levels vs naive bottom-up oracle, conservation laws,
+                    ordered-variant invariants
+    - [assign]      enumeration vs exhaustive cartesian oracle,
+                    feasibility, deduplication
+    - [trace]       Trace_io round-trips
+    - [stats]       percentile/stddev/spearman vs naive oracles,
+                    totality on degenerate inputs
+    - [fingerprint] relabeling invariance, mutation sensitivity,
+                    assembly-order insensitivity, content addressing
+    - [sim]         cycle simulator vs straight-line replay oracle,
+                    determinism, sampled-vs-exact bounds
+    - [eval]        cached evaluation vs direct recomputation,
+                    cache-on/off equality, Exact-promotes-Sampled
+    - [pipeline]    whole-flow sanity under random workloads and
+                    architectures (never crashes, metrics finite)
+    - [explore]     cache-on/off and jobs=1/jobs=N run parity,
+                    estimate-vs-exact rank correlation floors,
+                    event-log terminal-verdict coverage
+
+    A hidden [selftest] suite (reachable by name, excluded from
+    {!all}) carries an intentionally broken oracle comparison, used by
+    the CLI contract tests to exercise the failure path end to end:
+    counterexample found, shrunk, reproduction line printed, exit 1. *)
+
+val names : string list
+(** The public suite names, in the order {!all} runs them. *)
+
+val all : ?jobs:int -> unit -> (string * Runner.prop list) list
+(** Every public suite.  [jobs] (default
+    {!Mx_util.Task_pool.default_jobs}) is the parallel arm width used
+    by the jobs-parity properties of the [explore] suite. *)
+
+val find : ?jobs:int -> string -> Runner.prop list option
+(** Look up one suite by name; resolves [selftest] too. *)

@@ -25,6 +25,18 @@ let split g =
   let s = next_int64 g in
   { state = mix64 s; zcache = None }
 
+let subseed master i =
+  (* two mixing rounds so that both nearby masters and nearby indices
+     land on unrelated streams; keep 62 bits so the seed is a
+     non-negative OCaml int *)
+  let z =
+    mix64
+      (Int64.add
+         (Int64.mul (Int64.of_int master) golden_gamma)
+         (mix64 (Int64.of_int i)))
+  in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
 let int g ~bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* keep 62 bits so the value fits OCaml's 63-bit signed int *)

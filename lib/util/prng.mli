@@ -21,6 +21,14 @@ val split : t -> t
     statistically independent of [g]'s subsequent output.  Used to give
     each workload region its own stream without coupling. *)
 
+val subseed : int -> int -> int
+(** [subseed master i] is a non-negative derived seed for the [i]-th
+    child stream of [master] — a pure function of its two arguments, so
+    callers that enumerate cases (the {!Mx_check} property runner) can
+    reproduce case [i] from [master] alone without replaying the
+    previous [i - 1] draws.  Distinct [(master, i)] pairs map to
+    unrelated seeds. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -30,13 +30,58 @@ let mean = function
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let percentile xs ~p =
-  if xs = [] then invalid_arg "Stats.percentile: empty list";
-  let a = Array.of_list xs in
-  Array.sort Float.compare a;
-  let n = Array.length a in
-  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-  let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
-  a.(idx)
+  match xs with
+  | [] -> None
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+    Some a.(idx)
+
+let stddev xs =
+  let r = Running.create () in
+  List.iter (Running.add r) xs;
+  Running.stddev r
+
+let spearman xs ys =
+  let n = List.length xs in
+  if n <> List.length ys || n < 2 then None
+  else begin
+    (* fractional (average) ranks, so ties do not bias the correlation *)
+    let ranks vs =
+      let a = Array.of_list vs in
+      let idx = Array.init n (fun i -> i) in
+      Array.sort (fun i j -> Float.compare a.(i) a.(j)) idx;
+      let r = Array.make n 0.0 in
+      let i = ref 0 in
+      while !i < n do
+        let j = ref !i in
+        while !j + 1 < n && a.(idx.(!j + 1)) = a.(idx.(!i)) do
+          incr j
+        done;
+        let avg = float_of_int (!i + !j) /. 2.0 in
+        for k = !i to !j do
+          r.(idx.(k)) <- avg
+        done;
+        i := !j + 1
+      done;
+      r
+    in
+    let rx = ranks xs and ry = ranks ys in
+    let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+    let mx = mean rx and my = mean ry in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = rx.(i) -. mx and dy = ry.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0.0 || !syy = 0.0 then None
+    else Some (!sxy /. sqrt (!sxx *. !syy))
+  end
 
 let geometric_mean = function
   | [] -> 0.0

@@ -25,9 +25,17 @@ end
 val mean : float list -> float
 (** 0.0 on the empty list. *)
 
-val percentile : float list -> p:float -> float
+val percentile : float list -> p:float -> float option
 (** [percentile xs ~p] with [p] in [\[0,100\]], nearest-rank method.
-    @raise Invalid_argument on the empty list. *)
+    [None] on the empty list; a singleton is its own every-percentile. *)
+
+val stddev : float list -> float
+(** Population standard deviation; total: 0.0 on zero or one element. *)
+
+val spearman : float list -> float list -> float option
+(** Spearman rank correlation in [\[-1, 1\]], with fractional ranks for
+    ties.  [None] when the lists' lengths differ, fewer than two pairs
+    are given, or either side is constant (correlation undefined). *)
 
 val geometric_mean : float list -> float
 (** Geometric mean of positive values; 0.0 on the empty list. *)

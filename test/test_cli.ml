@@ -251,6 +251,49 @@ let test_strategies_metrics () =
         (Test_metrics.contains ~needle out))
     [ "strategy.pruned"; "strategy.full"; "strategy.neighborhood" ]
 
+(* -- check: exit-code contract of the correctness harness --------------- *)
+
+let test_check_suite_ok () =
+  let ((_, out, _) as r) =
+    run_conex [ "check"; "--suite"; "stats"; "--count"; "20" ]
+  in
+  check_exit "check stats" 0 r;
+  Helpers.check_true "prints the ok summary line"
+    (Test_metrics.contains ~needle:"ok   stats" out)
+
+let test_check_counterexample () =
+  let ((_, out, _) as r) =
+    run_conex [ "check"; "--suite"; "selftest"; "--count"; "10" ]
+  in
+  check_exit "check selftest (intentionally broken oracle)" 1 r;
+  Helpers.check_true "prints a reproducible seed"
+    (Test_metrics.contains ~needle:"CONEX_CHECK_SEED=" out);
+  Helpers.check_true "reports the shrunk size"
+    (Test_metrics.contains ~needle:"CONEX_CHECK_SIZE=2" out);
+  check_no_internal_error r
+
+let test_check_unknown_suite () =
+  let ((_, _, err) as r) = run_conex [ "check"; "--suite"; "nosuch" ] in
+  check_exit "unknown suite" 2 r;
+  Helpers.check_true "stderr names the suite"
+    (Test_metrics.contains ~needle:"nosuch" err);
+  check_no_internal_error r
+
+let test_check_bad_count () =
+  let r = run_conex [ "check"; "--suite"; "stats"; "--count"; "0" ] in
+  check_exit "non-positive count" 2 r;
+  check_no_internal_error r
+
+let test_check_list () =
+  let ((_, out, _) as r) = run_conex [ "check"; "--list" ] in
+  check_exit "check --list" 0 r;
+  List.iter
+    (fun needle ->
+      Helpers.check_true
+        (Printf.sprintf "lists the %s suite" needle)
+        (Test_metrics.contains ~needle out))
+    [ "pareto"; "sim"; "explore" ]
+
 let suite =
   ( "cli",
     [
@@ -278,4 +321,11 @@ let suite =
         test_explain_missing_file;
       Alcotest.test_case "--chrome-out" `Slow test_chrome_out_file;
       Alcotest.test_case "strategies --metrics" `Slow test_strategies_metrics;
+      Alcotest.test_case "check suite exits 0" `Quick test_check_suite_ok;
+      Alcotest.test_case "check counterexample exits 1" `Quick
+        test_check_counterexample;
+      Alcotest.test_case "check unknown suite exits 2" `Quick
+        test_check_unknown_suite;
+      Alcotest.test_case "check bad count exits 2" `Quick test_check_bad_count;
+      Alcotest.test_case "check --list exits 0" `Quick test_check_list;
     ] )

@@ -119,21 +119,18 @@ let test_local_promising_caps () =
 let test_scenarios_respect_constraints () =
   let r = Lazy.force conex_result in
   let designs = r.Explore.simulated in
-  let e_med =
-    Mx_util.Stats.percentile (List.map Design.energy designs) ~p:50.0
-  in
+  let p50 xs = Option.get (Mx_util.Stats.percentile xs ~p:50.0) in
+  let e_med = p50 (List.map Design.energy designs) in
   let sel = Scenario.select (Scenario.Power_constrained e_med) designs in
   Helpers.check_true "power scenario nonempty" (sel <> []);
   List.iter
     (fun d -> Helpers.check_true "energy bound" (Design.energy d <= e_med))
     sel;
-  let c_med = Mx_util.Stats.percentile (List.map Design.cost designs) ~p:50.0 in
+  let c_med = p50 (List.map Design.cost designs) in
   List.iter
     (fun d -> Helpers.check_true "cost bound" (Design.cost d <= c_med))
     (Scenario.select (Scenario.Cost_constrained c_med) designs);
-  let l_med =
-    Mx_util.Stats.percentile (List.map Design.latency designs) ~p:50.0
-  in
+  let l_med = p50 (List.map Design.latency designs) in
   List.iter
     (fun d -> Helpers.check_true "latency bound" (Design.latency d <= l_med))
     (Scenario.select (Scenario.Perf_constrained l_med) designs)

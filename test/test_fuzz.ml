@@ -1,185 +1,17 @@
-(* Randomised whole-pipeline properties: arbitrary synthetic workloads
-   and arbitrary (valid) architectures must never crash the flow, and
-   core invariants must hold everywhere.  Uses qcheck generators over
-   the configuration space rather than hand-picked cases. *)
+(* Randomised whole-pipeline suites from the Mx_check correctness
+   harness: arbitrary synthetic workloads and arbitrary (valid)
+   architectures through serialisation, fingerprinting, simulation
+   (against the straight-line replay oracle) and cached evaluation.
+   A failure prints the CLI reproduction line so the shrunk
+   counterexample can be replayed with `conex check`. *)
 
-module Params = Mx_mem.Params
-module Mem_arch = Mx_mem.Mem_arch
-module Mem_sim = Mx_mem.Mem_sim
-module Region = Mx_trace.Region
-module Synthetic = Mx_trace.Synthetic
-
-(* -- generators -------------------------------------------------------- *)
-
-let pattern_gen =
-  QCheck.Gen.oneofl
-    [ Region.Stream; Region.Indexed; Region.Random_access;
-      Region.Self_indirect; Region.Mixed ]
-
-let spec_gen =
-  QCheck.Gen.(
-    map3
-      (fun pat elems (share, wf) ->
-        Synthetic.spec
-          ~name:(Printf.sprintf "r%d" elems)
-          ~elems ~share ~write_frac:wf pat)
-      pattern_gen
-      (int_range 16 4096)
-      (pair (float_range 0.1 4.0) (float_range 0.0 1.0)))
-
-let workload_gen =
-  QCheck.Gen.(
-    map2
-      (fun seed specs ->
-        (* region names must be distinct for region_by_name users, but
-           the pipeline itself only needs distinct ids, which Layout
-           provides *)
-        Synthetic.generate ~name:"fuzz" ~specs ~scale:1500 ~seed)
-      (int_range 0 10_000)
-      (list_size (int_range 1 5) spec_gen))
-
-let cache_gen =
-  QCheck.Gen.(
-    map3
-      (fun size_log line_log assoc_log ->
-        let size = 1 lsl size_log and line = 1 lsl line_log in
-        let assoc = 1 lsl assoc_log in
-        let assoc = min assoc (size / line) in
-        { Params.c_size = size; c_line = line; c_assoc = assoc; c_latency = 1 })
-      (int_range 9 14) (int_range 4 6) (int_range 0 2))
-
-let arch_gen =
-  QCheck.Gen.(
-    map3
-      (fun cache use_sbuf use_lldma ->
-        fun (w : Mx_trace.Workload.t) ->
-          let regions = w.Mx_trace.Workload.regions in
-          let bindings = Array.make (List.length regions) Mem_arch.To_cache in
-          let sbuf =
-            if use_sbuf then Some (List.hd Mx_mem.Module_lib.stream_buffers)
-            else None
-          and lldma =
-            if use_lldma then Some (List.hd Mx_mem.Module_lib.lldmas) else None
-          in
-          List.iter
-            (fun (r : Region.t) ->
-              match r.Region.hint with
-              | Region.Stream when sbuf <> None ->
-                bindings.(r.Region.id) <- Mem_arch.To_sbuf
-              | Region.Self_indirect when lldma <> None ->
-                bindings.(r.Region.id) <- Mem_arch.To_lldma
-              | _ -> ())
-            regions;
-          Mem_arch.make ~label:"fuzz" ~cache ?sbuf ?lldma ~bindings ())
-      cache_gen bool bool)
-
-let pipeline_gen = QCheck.Gen.pair workload_gen arch_gen
-
-let pipeline_arb =
-  QCheck.make pipeline_gen
-    ~print:(fun (w, _) ->
-      Printf.sprintf "workload with %d regions, %d accesses"
-        (List.length w.Mx_trace.Workload.regions)
-        (Mx_trace.Trace.length w.Mx_trace.Workload.trace))
-
-(* -- properties ------------------------------------------------------- *)
-
-let prop_stats_partition =
-  QCheck.Test.make ~count:40 ~name:"fuzz: per-serving stats partition the trace"
-    pipeline_arb
-    (fun (w, mk_arch) ->
-      let arch = mk_arch w in
-      let s = Helpers.profile_of arch w in
-      let total =
-        List.fold_left
-          (fun acc sv -> acc + s.Mem_sim.cpu_accesses sv)
-          0
-          [ Mem_sim.By_cache; Mem_sim.By_sram; Mem_sim.By_sbuf;
-            Mem_sim.By_lldma; Mem_sim.By_dram_direct ]
-      in
-      total = s.Mem_sim.accesses
-      && s.Mem_sim.demand_misses <= s.Mem_sim.accesses)
-
-let prop_sim_runs_and_is_sane =
-  QCheck.Test.make ~count:25 ~name:"fuzz: cycle sim finite and positive"
-    pipeline_arb
-    (fun (w, mk_arch) ->
-      let arch = mk_arch w in
-      let brg = Mx_connect.Brg.build arch (Helpers.profile_of arch w) in
-      let conn = Helpers.naive_conn brg in
-      let r = Mx_sim.Cycle_sim.run ~workload:w ~arch ~conn () in
-      Float.is_finite r.Mx_sim.Sim_result.avg_mem_latency
-      && r.Mx_sim.Sim_result.avg_mem_latency > 0.0
-      && Float.is_finite r.Mx_sim.Sim_result.avg_energy_nj
-      && r.Mx_sim.Sim_result.avg_energy_nj >= 0.0
-      && r.Mx_sim.Sim_result.cycles >= r.Mx_sim.Sim_result.accesses)
-
-let prop_sim_deterministic =
-  QCheck.Test.make ~count:15 ~name:"fuzz: cycle sim deterministic" pipeline_arb
-    (fun (w, mk_arch) ->
-      let arch = mk_arch w in
-      let brg = Mx_connect.Brg.build arch (Helpers.profile_of arch w) in
-      let conn = Helpers.naive_conn brg in
-      let a = Mx_sim.Cycle_sim.run ~workload:w ~arch ~conn ()
-      and b = Mx_sim.Cycle_sim.run ~workload:w ~arch ~conn () in
-      a.Mx_sim.Sim_result.cycles = b.Mx_sim.Sim_result.cycles
-      && a.Mx_sim.Sim_result.avg_mem_latency = b.Mx_sim.Sim_result.avg_mem_latency)
-
-let prop_estimator_finite =
-  QCheck.Test.make ~count:25 ~name:"fuzz: estimator finite on any pipeline"
-    pipeline_arb
-    (fun (w, mk_arch) ->
-      let arch = mk_arch w in
-      let profile = Helpers.profile_of arch w in
-      let brg = Mx_connect.Brg.build arch profile in
-      let e =
-        Mx_sim.Estimator.estimate ~workload:w ~arch ~profile
-          ~conn:(Helpers.naive_conn brg)
-      in
-      Float.is_finite e.Mx_sim.Sim_result.avg_mem_latency
-      && e.Mx_sim.Sim_result.avg_mem_latency > 0.0
-      && Float.is_finite e.Mx_sim.Sim_result.avg_energy_nj)
-
-let prop_enumeration_feasible =
-  QCheck.Test.make ~count:20
-    ~name:"fuzz: every enumerated assignment is internally feasible"
-    pipeline_arb
-    (fun (w, mk_arch) ->
-      let arch = mk_arch w in
-      let brg = Mx_connect.Brg.build arch (Helpers.profile_of arch w) in
-      let conns =
-        Mx_connect.Assign.enumerate_levels ~max_designs_per_level:64
-          ~onchip:Mx_connect.Component.onchip_library
-          ~offchip:Mx_connect.Component.offchip_library
-          brg.Mx_connect.Brg.channels
-      in
-      conns <> []
-      && List.for_all
-           (fun (c : Mx_connect.Conn_arch.t) ->
-             List.for_all
-               (fun (b : Mx_connect.Conn_arch.binding) ->
-                 Mx_connect.Conn_arch.feasible b.Mx_connect.Conn_arch.cluster
-                   b.Mx_connect.Conn_arch.component)
-               c.Mx_connect.Conn_arch.bindings)
-           conns)
-
-let prop_trace_io_roundtrip =
-  QCheck.Test.make ~count:20 ~name:"fuzz: trace save/load roundtrip"
-    pipeline_arb
-    (fun (w, _) ->
-      let w2 = Mx_trace.Trace_io.of_string (Mx_trace.Trace_io.to_string w) in
-      Mx_trace.Trace.length w2.Mx_trace.Workload.trace
-      = Mx_trace.Trace.length w.Mx_trace.Workload.trace
-      && w2.Mx_trace.Workload.regions = w.Mx_trace.Workload.regions)
+let case ?count name =
+  Alcotest.test_case name `Quick (fun () ->
+      Test_check.run_check_suite ?count name)
 
 let suite =
   ( "fuzz",
-    List.map QCheck_alcotest.to_alcotest
-      [
-        prop_stats_partition;
-        prop_sim_runs_and_is_sane;
-        prop_sim_deterministic;
-        prop_estimator_finite;
-        prop_enumeration_feasible;
-        prop_trace_io_roundtrip;
-      ] )
+    [
+      case "trace"; case "fingerprint"; case ~count:100 "sim";
+      case ~count:100 "eval"; case "pipeline";
+    ] )

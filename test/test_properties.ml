@@ -1,239 +1,15 @@
-(* Property-based tests driven by the in-repo SplitMix64 PRNG: pareto
-   front laws over random point sets and clustering invariants over
-   random channel sets.  Everything is reproducible from the fixed
-   master seed below. *)
+(* Algorithmic property suites from the Mx_check correctness harness:
+   pareto-front laws against the quadratic oracle, clustering
+   conservation laws against the bottom-up oracle, assignment
+   enumeration against the cartesian oracle, and the statistics
+   oracles.  `dune runtest` thus exercises exactly the same generators
+   and oracles as `conex check`; a failure prints the CLI reproduction
+   line (CONEX_CHECK_SEED=... conex check --suite ...) so the shrunk
+   counterexample can be replayed outside the test harness. *)
 
-module Pareto = Mx_util.Pareto
-module Prng = Mx_util.Prng
-module Cluster = Mx_connect.Cluster
-module Channel = Mx_connect.Channel
-
-let master_seed = 0xC0DE
-
-(* -- pareto front laws ----------------------------------------------------- *)
-
-let axes3 =
-  [ (fun (p : float array) -> p.(0)); (fun p -> p.(1)); (fun p -> p.(2)) ]
-
-(* Coarse integer grid: forces ties and duplicate objective vectors,
-   the cases where dominance logic usually goes wrong. *)
-let grid_points g =
-  let n = 1 + Prng.int g ~bound:40 in
-  List.init n (fun _ ->
-      Array.init 3 (fun _ -> float_of_int (Prng.int g ~bound:6)))
-
-let continuous_points g ~dim =
-  let n = 1 + Prng.int g ~bound:40 in
-  List.init n (fun _ -> Array.init dim (fun _ -> Prng.float g))
-
-let iterate ~n f =
-  let g = Prng.create ~seed:master_seed in
-  for i = 1 to n do
-    f i (Prng.split g)
-  done
-
-let test_front_sound_and_complete () =
-  iterate ~n:200 (fun i g ->
-      let pts = grid_points g in
-      let front = Pareto.front ~axes:axes3 pts in
-      (* soundness: no input point dominates a front member *)
-      List.iter
-        (fun fm ->
-          Helpers.check_true
-            (Printf.sprintf "iter %d: front member undominated" i)
-            (not (List.exists (fun p -> Pareto.dominates ~axes:axes3 p fm) pts)))
-        front;
-      (* completeness: every non-front point is dominated by a front member *)
-      List.iter
-        (fun p ->
-          if not (List.memq p front) then
-            Helpers.check_true
-              (Printf.sprintf "iter %d: dropped point is dominated" i)
-              (List.exists (fun fm -> Pareto.dominates ~axes:axes3 fm p) front))
-        pts)
-
-let test_front_idempotent () =
-  iterate ~n:200 (fun i g ->
-      let front = Pareto.front ~axes:axes3 (grid_points g) in
-      Helpers.check_true
-        (Printf.sprintf "iter %d: front (front xs) = front xs" i)
-        (Pareto.front ~axes:axes3 front = front))
-
-let test_front_permutation_invariant () =
-  iterate ~n:200 (fun i g ->
-      let pts = grid_points g in
-      let arr = Array.of_list pts in
-      Prng.shuffle g arr;
-      let sorted l = List.sort compare l in
-      Helpers.check_true
-        (Printf.sprintf "iter %d: same front for any input order" i)
-        (sorted (Pareto.front ~axes:axes3 pts)
-        = sorted (Pareto.front ~axes:axes3 (Array.to_list arr))))
-
-let test_front2_agrees_with_front () =
-  (* continuous coordinates: ties have probability ~0, so the O(n log n)
-     sweep and the generic O(n^2) filter must select the same set *)
-  let x (p : float array) = p.(0) and y (p : float array) = p.(1) in
-  iterate ~n:200 (fun i g ->
-      let pts = continuous_points g ~dim:2 in
-      let sorted l = List.sort compare l in
-      Helpers.check_true
-        (Printf.sprintf "iter %d: front2 = front on 2 axes" i)
-        (sorted (Pareto.front2 ~x ~y pts)
-        = sorted (Pareto.front ~axes:[ x; y ] pts)))
-
-let test_front2_sorted_by_x () =
-  let x (p : float array) = p.(0) and y (p : float array) = p.(1) in
-  iterate ~n:100 (fun i g ->
-      let front = Pareto.front2 ~x ~y (continuous_points g ~dim:2) in
-      let rec ascending = function
-        | a :: (b :: _ as rest) -> x a <= x b && ascending rest
-        | _ -> true
-      in
-      Helpers.check_true
-        (Printf.sprintf "iter %d: front2 ascending in x" i)
-        (ascending front))
-
-(* -- clustering invariants ------------------------------------------------- *)
-
-let onchip_nodes = [| Channel.Cpu; Channel.Cache; Channel.L2; Channel.Sram;
-                      Channel.Sbuf; Channel.Lldma |]
-
-let random_channel g =
-  (* bandwidths are dyadic (k/8) so cross-level sums are float-exact *)
-  let bandwidth = float_of_int (1 + Prng.int g ~bound:64) /. 8.0 in
-  let txn_bytes = Prng.pick g [| 4.0; 8.0; 16.0; 32.0 |] in
-  if Prng.bool g ~p:0.3 then
-    (* off-chip: one endpoint is the DRAM *)
-    { Channel.src = Prng.pick g onchip_nodes; dst = Channel.Dram;
-      bandwidth; txn_bytes }
-  else begin
-    let src = Prng.pick g onchip_nodes in
-    let rec dst () =
-      let d = Prng.pick g onchip_nodes in
-      if d = src then dst () else d
-    in
-    { Channel.src; dst = dst (); bandwidth; txn_bytes }
-  end
-
-let random_channels g = List.init (1 + Prng.int g ~bound:8) (fun _ -> random_channel g)
-
-let bandwidth_sum clusters =
-  List.fold_left (fun acc (c : Cluster.t) -> acc +. c.Cluster.bandwidth) 0.0
-    clusters
-
-let channel_count clusters =
-  List.fold_left
-    (fun acc (c : Cluster.t) -> acc + List.length c.Cluster.channels)
-    0 clusters
-
-let check_levels_invariants ~what chans levels =
-  let n = List.length chans in
-  let total_bw =
-    List.fold_left (fun acc (c : Channel.t) -> acc +. c.Channel.bandwidth) 0.0
-      chans
-  in
-  (match levels with
-  | [] -> Alcotest.failf "%s: no levels" what
-  | finest :: _ ->
-    Helpers.check_int (what ^ ": finest level is one cluster per channel") n
-      (List.length finest));
-  (* each merge step removes exactly one cluster *)
-  let rec steps = function
-    | a :: (b :: _ as rest) ->
-      Helpers.check_int
-        (what ^ ": merge removes exactly one cluster")
-        (List.length a - 1) (List.length b);
-      steps rest
-    | _ -> ()
-  in
-  steps levels;
-  List.iter
-    (fun level ->
-      Helpers.check_float (what ^ ": bandwidth conserved") total_bw
-        (bandwidth_sum level);
-      Helpers.check_int (what ^ ": channels conserved") n (channel_count level);
-      List.iter
-        (fun (cl : Cluster.t) ->
-          Helpers.check_true (what ^ ": no on/off-chip mixing")
-            (List.for_all
-               (fun ch -> Channel.crosses_chip ch = cl.Cluster.offchip)
-               cl.Cluster.channels))
-        level)
-    levels
-
-let test_levels_invariants () =
-  iterate ~n:100 (fun i g ->
-      let chans = random_channels g in
-      let what = Printf.sprintf "iter %d" i in
-      let levels = Cluster.levels chans in
-      check_levels_invariants ~what chans levels;
-      (* the coarsest level really is terminal *)
-      Helpers.check_true (what ^ ": no legal merge left")
-        (Cluster.merge_step (List.nth levels (List.length levels - 1)) = None))
-
-let test_levels_ordered_invariants () =
-  iterate ~n:60 (fun i g ->
-      let chans = random_channels g in
-      List.iter
-        (fun (name, order) ->
-          check_levels_invariants
-            ~what:(Printf.sprintf "iter %d [%s]" i name)
-            chans
-            (Cluster.levels_ordered order chans))
-        [
-          ("lowest", Cluster.Lowest_bandwidth_first);
-          ("highest", Cluster.Highest_bandwidth_first);
-          ("random", Cluster.Random_order (i * 7));
-        ])
-
-let test_merge_bandwidth_additive () =
-  iterate ~n:100 (fun i g ->
-      let a = Cluster.of_channel (random_channel g) in
-      let b = Cluster.of_channel (random_channel g) in
-      if a.Cluster.offchip = b.Cluster.offchip then begin
-        let m = Cluster.merge a b in
-        Helpers.check_float
-          (Printf.sprintf "iter %d: merged bandwidth is the sum" i)
-          (a.Cluster.bandwidth +. b.Cluster.bandwidth)
-          m.Cluster.bandwidth;
-        Helpers.check_int
-          (Printf.sprintf "iter %d: merged channels are the union" i)
-          (List.length a.Cluster.channels + List.length b.Cluster.channels)
-          (List.length m.Cluster.channels)
-      end)
-
-let test_merge_rejects_mixing () =
-  let on =
-    Cluster.of_channel
-      { Channel.src = Channel.Cpu; dst = Channel.Cache; bandwidth = 1.0;
-        txn_bytes = 4.0 }
-  and off =
-    Cluster.of_channel
-      { Channel.src = Channel.Cache; dst = Channel.Dram; bandwidth = 1.0;
-        txn_bytes = 16.0 }
-  in
-  Helpers.check_true "merging on-chip with off-chip is rejected"
-    (try
-       ignore (Cluster.merge on off);
-       false
-     with Invalid_argument _ -> true)
+let case name =
+  Alcotest.test_case name `Quick (fun () ->
+      Test_check.run_check_suite ~count:200 name)
 
 let suite =
-  ( "properties",
-    [
-      Alcotest.test_case "front sound + complete" `Quick
-        test_front_sound_and_complete;
-      Alcotest.test_case "front idempotent" `Quick test_front_idempotent;
-      Alcotest.test_case "front permutation-invariant" `Quick
-        test_front_permutation_invariant;
-      Alcotest.test_case "front2 = front" `Quick test_front2_agrees_with_front;
-      Alcotest.test_case "front2 sorted" `Quick test_front2_sorted_by_x;
-      Alcotest.test_case "cluster levels invariants" `Quick
-        test_levels_invariants;
-      Alcotest.test_case "cluster levels (all orders)" `Quick
-        test_levels_ordered_invariants;
-      Alcotest.test_case "merge bandwidth additive" `Quick
-        test_merge_bandwidth_additive;
-      Alcotest.test_case "merge rejects mixing" `Quick test_merge_rejects_mixing;
-    ] )
+  ("properties", [ case "pareto"; case "cluster"; case "assign"; case "stats" ])

@@ -27,16 +27,39 @@ let test_mean () =
   Helpers.check_float "empty" 0.0 (Stats.mean []);
   Helpers.check_float "values" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ])
 
+let check_percentile msg expect xs p =
+  Alcotest.(check (option (float 1e-9))) msg expect (Stats.percentile xs ~p)
+
 let test_percentile () =
   let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
-  Helpers.check_float "p50" 50.0 (Stats.percentile xs ~p:50.0);
-  Helpers.check_float "p100" 100.0 (Stats.percentile xs ~p:100.0);
-  Helpers.check_float "p1" 1.0 (Stats.percentile xs ~p:1.0)
+  check_percentile "p50" (Some 50.0) xs 50.0;
+  check_percentile "p100" (Some 100.0) xs 100.0;
+  check_percentile "p1" (Some 1.0) xs 1.0
 
-let test_percentile_empty () =
-  Alcotest.check_raises "empty percentile"
-    (Invalid_argument "Stats.percentile: empty list") (fun () ->
-      ignore (Stats.percentile [] ~p:50.0))
+let test_percentile_total () =
+  (* regression: used to raise on the empty list *)
+  check_percentile "empty is None" None [] 50.0;
+  check_percentile "singleton p0" (Some 7.0) [ 7.0 ] 0.0;
+  check_percentile "singleton p50" (Some 7.0) [ 7.0 ] 50.0;
+  check_percentile "singleton p100" (Some 7.0) [ 7.0 ] 100.0
+
+let test_stddev_total () =
+  Helpers.check_float "empty" 0.0 (Stats.stddev []);
+  Helpers.check_float "singleton" 0.0 (Stats.stddev [ 3.0 ]);
+  Alcotest.(check (float 1e-6)) "known population stddev" 2.0
+    (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_spearman () =
+  let check msg expect xs ys =
+    Alcotest.(check (option (float 1e-9))) msg expect (Stats.spearman xs ys)
+  in
+  check "monotone" (Some 1.0) [ 1.0; 2.0; 3.0 ] [ 10.0; 20.0; 90.0 ];
+  check "antitone" (Some (-1.0)) [ 1.0; 2.0; 3.0 ] [ 9.0; 5.0; 1.0 ];
+  check "length mismatch" None [ 1.0 ] [ 1.0; 2.0 ];
+  check "too short" None [ 1.0 ] [ 2.0 ];
+  check "constant side undefined" None [ 1.0; 2.0; 3.0 ] [ 5.0; 5.0; 5.0 ];
+  (* ties get fractional ranks; [1;2;2;3] vs itself is still exactly 1 *)
+  check "ties" (Some 1.0) [ 1.0; 2.0; 2.0; 3.0 ] [ 1.0; 2.0; 2.0; 3.0 ]
 
 let test_geometric_mean () =
   Alcotest.(check (float 1e-9)) "gm" 4.0 (Stats.geometric_mean [ 2.0; 8.0 ]);
@@ -63,7 +86,9 @@ let suite =
       Alcotest.test_case "running known" `Quick test_running_known;
       Alcotest.test_case "mean" `Quick test_mean;
       Alcotest.test_case "percentile" `Quick test_percentile;
-      Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
+      Alcotest.test_case "percentile total" `Quick test_percentile_total;
+      Alcotest.test_case "stddev total" `Quick test_stddev_total;
+      Alcotest.test_case "spearman" `Quick test_spearman;
       Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
       Alcotest.test_case "ratio pct" `Quick test_ratio_pct;
       QCheck_alcotest.to_alcotest qcheck_running_mean_matches_list_mean;
