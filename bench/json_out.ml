@@ -17,8 +17,16 @@ type scaling = {
   speedup : float;  (* serial wall time / this wall time *)
 }
 
+(* Free-form scalar measurements (bytes/access, Macc/s, chunk
+   fractions...) from experiments whose shape doesn't fit the
+   estimate/simulation funnel. *)
+type stat = { stat_name : string; value : float }
+
 let experiments : experiment list ref = ref []
 let scalings : scaling list ref = ref []
+let stats : stat list ref = ref []
+
+let record_stat ~name ~value = stats := { stat_name = name; value } :: !stats
 
 let record_experiment ~name ~wall_seconds ~n_estimates ~n_simulations =
   experiments :=
@@ -72,6 +80,16 @@ let write ~path =
       if c = '\n' then Buffer.add_string b "  ")
     (String.trim metrics_json);
   Buffer.add_string b ",\n";
+  Buffer.add_string b "  \"stats\": [\n";
+  let sts = List.rev !stats in
+  List.iteri
+    (fun i (s : stat) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"name\": \"%s\", \"value\": %.6f}%s\n"
+           (escape s.stat_name) s.value
+           (if i = List.length sts - 1 then "" else ",")))
+    sts;
+  Buffer.add_string b "  ],\n";
   Buffer.add_string b "  \"scaling\": [\n";
   let scs = List.rev !scalings in
   List.iteri

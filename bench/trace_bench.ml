@@ -1,0 +1,172 @@
+(* bench trace -- the compact binary trace format and the streaming
+   cycle simulation path.
+
+   Measures, on a 1M-access mixed synthetic workload:
+     - bytes/access of text vs binary encoding (CHECK: binary <= 0.25x)
+     - encode/decode throughput of both formats
+     - exact Cycle_sim wall time, materialised vs file-streamed, with a
+       CHECK that the results are byte-identical (also under ~sample)
+     - sampling-seek: the fraction of chunks a ~seek:true replay reads
+       (CHECK: < 0.5x under the paper's 1/9 windows) *)
+
+module Trace_io = Mx_trace.Trace_io
+module Trace_stream = Mx_trace.Trace_stream
+module Workload = Mx_trace.Workload
+module Mem_arch = Mx_mem.Mem_arch
+module Mem_sim = Mx_mem.Mem_sim
+module Cycle_sim = Mx_sim.Cycle_sim
+
+let scale = 1_000_000
+
+let mixed_workload () =
+  Mx_trace.Synthetic.generate ~name:"mixed" ~scale ~seed:7
+    ~specs:
+      [
+        Mx_trace.Synthetic.spec ~name:"stream" ~elems:8192 ~share:2.0
+          Mx_trace.Region.Stream;
+        Mx_trace.Synthetic.spec ~name:"hot" ~elems:128 ~share:2.0 ~skew:1.2
+          Mx_trace.Region.Indexed;
+        Mx_trace.Synthetic.spec ~name:"table" ~elems:16384 ~share:1.5
+          ~skew:0.2 Mx_trace.Region.Random_access;
+        Mx_trace.Synthetic.spec ~name:"list" ~elems:8192 ~share:1.5
+          Mx_trace.Region.Self_indirect;
+      ]
+
+(* One representative mid-range design point: cache-backed memory
+   architecture, first feasible connectivity of its BRG. *)
+let design_for (w : Workload.t) =
+  let cache = List.nth Mx_mem.Module_lib.caches 2 in
+  let bindings =
+    Array.make (List.length w.Workload.regions) Mem_arch.To_cache
+  in
+  let arch = Mem_arch.make ~label:"bench" ~cache ~bindings () in
+  let msim = Mem_sim.create arch ~regions:w.Workload.regions in
+  let profile = Mem_sim.run msim w.Workload.trace in
+  let brg = Mx_connect.Brg.build arch profile in
+  let conns =
+    Mx_connect.Assign.enumerate_levels ~max_designs_per_level:8
+      ~onchip:
+        [
+          Mx_connect.Component.by_name "ded32";
+          Mx_connect.Component.by_name "mux32";
+          Mx_connect.Component.by_name "ahb32";
+        ]
+      ~offchip:[ Mx_connect.Component.by_name "off32" ]
+      brg.Mx_connect.Brg.channels
+  in
+  match conns with
+  | [] -> failwith "trace bench: no feasible connectivity"
+  | conn :: _ -> (arch, conn)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let maccs n seconds = float_of_int n /. 1e6 /. Float.max 1e-9 seconds
+
+let run () =
+  print_endline
+    "==================================================================";
+  Printf.printf
+    "trace -- compact binary format + streaming simulation (%d accesses)\n"
+    scale;
+  print_endline
+    "==================================================================";
+  let t_all = Unix.gettimeofday () in
+  let w = mixed_workload () in
+  let n = Workload.access_count w in
+
+  (* encode: bytes/access, both formats *)
+  let text, t_text_enc = time (fun () -> Trace_io.to_string w) in
+  let bin, t_bin_enc = time (fun () -> Trace_io.to_binary_string w) in
+  let bpa bytes = float_of_int bytes /. float_of_int n in
+  let text_bpa = bpa (String.length text)
+  and bin_bpa = bpa (String.length bin) in
+  Printf.printf "text:   %9d bytes  %5.2f bytes/access  encode %6.1f Macc/s\n"
+    (String.length text) text_bpa (maccs n t_text_enc);
+  Printf.printf "binary: %9d bytes  %5.2f bytes/access  encode %6.1f Macc/s\n"
+    (String.length bin) bin_bpa (maccs n t_bin_enc);
+  Json_out.record_stat ~name:"trace.text_bytes_per_access" ~value:text_bpa;
+  Json_out.record_stat ~name:"trace.binary_bytes_per_access" ~value:bin_bpa;
+  Json_out.record_stat ~name:"trace.binary_encode_maccs"
+    ~value:(maccs n t_bin_enc);
+  Experiments.check "binary encoding is <= 0.25x the text bytes/access"
+    (bin_bpa <= 0.25 *. text_bpa);
+
+  (* decode throughput + content round-trip *)
+  let w_txt, t_text_dec = time (fun () -> Trace_io.of_string text) in
+  let w_bin, t_bin_dec = time (fun () -> Trace_io.of_binary_string bin) in
+  Printf.printf "decode: text %6.1f Macc/s   binary %6.1f Macc/s\n"
+    (maccs n t_text_dec) (maccs n t_bin_dec);
+  Json_out.record_stat ~name:"trace.binary_decode_maccs"
+    ~value:(maccs n t_bin_dec);
+  Experiments.check "both decoders reproduce the workload fingerprint"
+    (Workload.fingerprint w_txt = Workload.fingerprint w
+    && Workload.fingerprint w_bin = Workload.fingerprint w);
+
+  (* streaming vs materialised cycle simulation *)
+  let path = Filename.temp_file "conex_trace_bench" ".mxtb" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Trace_io.save ~format:Trace_io.Binary w ~path;
+      let arch, conn = design_for w in
+      let exact_mat, t_mat =
+        time (fun () -> Cycle_sim.run ~workload:w ~arch ~conn ())
+      in
+      let sw = Trace_io.open_stream ~path in
+      let exact_str, t_str =
+        time (fun () -> Cycle_sim.run_stream ~workload:sw ~arch ~conn ())
+      in
+      let stream_fp = Workload.streamed_fingerprint sw in
+      Trace_stream.close sw.Workload.s_stream;
+      Printf.printf
+        "exact sim: materialised %.2fs, file-streamed %.2fs (%.2fx)\n" t_mat
+        t_str
+        (t_str /. Float.max 1e-9 t_mat);
+      Json_out.record_stat ~name:"trace.sim_materialized_seconds" ~value:t_mat;
+      Json_out.record_stat ~name:"trace.sim_streamed_seconds" ~value:t_str;
+      Experiments.check "file-streamed exact replay is byte-identical"
+        (exact_str = exact_mat);
+      Experiments.check "streamed fingerprint equals the in-memory one"
+        (stream_fp = Workload.fingerprint w);
+
+      (* sampled, no seek: still byte-identical *)
+      let sample = Cycle_sim.default_sample in
+      let samp_mat =
+        Cycle_sim.run ~sample ~workload:w ~arch ~conn ()
+      in
+      let sw2 = Trace_io.open_stream ~path in
+      let samp_str = Cycle_sim.run_stream ~sample ~workload:sw2 ~arch ~conn () in
+      Trace_stream.close sw2.Workload.s_stream;
+      Experiments.check "file-streamed sampled replay is byte-identical"
+        (samp_str = samp_mat);
+
+      (* sampled with seek: skip the chunks inside off-windows *)
+      let sw3 = Trace_io.open_stream ~path in
+      let st3 = sw3.Workload.s_stream in
+      let _seeked, t_seek =
+        time (fun () ->
+            Cycle_sim.run_stream ~sample ~seek:true ~workload:sw3 ~arch ~conn
+              ())
+      in
+      let stats = Trace_stream.io_stats st3 in
+      let chunks = Trace_stream.chunk_count st3 in
+      Trace_stream.close st3;
+      let ratio =
+        float_of_int stats.Trace_stream.chunks_fetched
+        /. float_of_int (max 1 chunks)
+      in
+      Printf.printf
+        "seek sampling (%d/%d): fetched %d of %d chunks (%.2fx), skipped %d, \
+         %.2fs\n"
+        (fst sample) (snd sample) stats.Trace_stream.chunks_fetched chunks
+        ratio stats.Trace_stream.chunks_skipped t_seek;
+      Json_out.record_stat ~name:"trace.seek_chunk_fraction" ~value:ratio;
+      Experiments.check "sampling-seek reads < 0.5x of the chunks"
+        (ratio < 0.5));
+  Json_out.record_experiment ~name:"trace"
+    ~wall_seconds:(Unix.gettimeofday () -. t_all)
+    ~n_estimates:0 ~n_simulations:5;
+  print_newline ()

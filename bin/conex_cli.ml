@@ -631,13 +631,264 @@ let check_cmd =
     Term.(
       const run $ suite_arg $ check_seed_arg $ count_arg $ list_arg $ jobs_arg)
 
+(* -- trace: record / compact / inspect / stat ---------------------------- *)
+
+let format_enum =
+  Arg.enum
+    [ ("text", Mx_trace.Trace_io.Text); ("binary", Mx_trace.Trace_io.Binary) ]
+
+let trace_file_size path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> in_channel_length ic)
+  with Sys_error msg -> die_io "cannot read %s: %s" path msg
+
+let load_trace_file path =
+  try Mx_trace.Trace_io.load ~path with
+  | Sys_error msg -> die_io "cannot load trace: %s" msg
+  | Mx_trace.Trace_io.Parse_error { line; message } ->
+    die_io "cannot load trace %s: line %d: %s" path line message
+
+let open_trace_stream path =
+  try Mx_trace.Trace_io.open_stream ~path with
+  | Sys_error msg -> die_io "cannot open trace: %s" msg
+  | Mx_trace.Trace_io.Parse_error { line; message } ->
+    die_io "cannot open trace %s: line %d: %s" path line message
+
+let detect_trace_format path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let magic = Mx_trace.Trace_codec.magic in
+        let n = min (String.length magic) (in_channel_length ic) in
+        if really_input_string ic n = magic then Mx_trace.Trace_io.Binary
+        else Mx_trace.Trace_io.Text)
+  with Sys_error msg -> die_io "cannot read %s: %s" path msg
+
+let bytes_per_access ~bytes ~accesses =
+  float_of_int bytes /. float_of_int (max 1 accesses)
+
+let chunk_cap_arg =
+  let doc =
+    "Chunk capacity of the binary format, in accesses (smaller chunks seek \
+     finer, larger chunks compress slightly better)."
+  in
+  Arg.(value & opt (some int) None & info [ "chunk" ] ~docv:"N" ~doc)
+
+let check_chunk_cap = function
+  | Some c when c <= 0 -> die_usage "--chunk must be positive (got %d)" c
+  | _ -> ()
+
+let trace_record_cmd =
+  let run name scale seed out format chunk_cap =
+    check_workload_name name;
+    check_chunk_cap chunk_cap;
+    validate_out_path (Some out);
+    let w = make_workload name ~scale ~seed in
+    (try Mx_trace.Trace_io.save ~format ?chunk_cap w ~path:out
+     with Sys_error msg -> die_io "cannot save trace: %s" msg);
+    let n = Mx_trace.Workload.access_count w in
+    let bytes = trace_file_size out in
+    Printf.printf "%s: %d accesses -> %s (%d bytes, %.2f bytes/access)\n" name
+      n out bytes
+      (bytes_per_access ~bytes ~accesses:n)
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt format_enum Mx_trace.Trace_io.Binary
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: $(b,binary) (default) or $(b,text).")
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Generate a workload and save its trace to a file")
+    Term.(
+      const run $ workload_arg $ scale_arg $ seed_arg $ out_arg $ format_arg
+      $ chunk_cap_arg)
+
+let trace_compact_cmd =
+  let run inp out format chunk_cap =
+    check_chunk_cap chunk_cap;
+    validate_out_path (Some out);
+    let w = load_trace_file inp in
+    (try Mx_trace.Trace_io.save ~format ?chunk_cap w ~path:out
+     with Sys_error msg -> die_io "cannot save trace: %s" msg);
+    let before = trace_file_size inp and after = trace_file_size out in
+    Printf.printf "%s (%d bytes) -> %s (%d bytes, %.2fx)\n" inp before out
+      after
+      (float_of_int after /. float_of_int (max 1 before))
+  in
+  let in_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"IN" ~doc:"Input trace file (either format).")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT" ~doc:"Output trace file.")
+  in
+  let to_arg =
+    Arg.(
+      value
+      & opt format_enum Mx_trace.Trace_io.Binary
+      & info [ "to" ] ~docv:"FORMAT"
+          ~doc:"Target format: $(b,binary) (default) or $(b,text).")
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Re-encode a trace file (text <-> compact binary)")
+    Term.(const run $ in_arg $ out_arg $ to_arg $ chunk_cap_arg)
+
+let trace_path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Trace file (either format).")
+
+let trace_inspect_cmd =
+  let run path =
+    let fmt = detect_trace_format path in
+    let bytes = trace_file_size path in
+    match fmt with
+    | Mx_trace.Trace_io.Binary ->
+      (* header + footer index only: constant time, no chunk decode *)
+      let sw = open_trace_stream path in
+      let st = sw.Mx_trace.Workload.s_stream in
+      let index_bytes =
+        (Mx_trace.Trace_stream.io_stats st).Mx_trace.Trace_stream.bytes_read
+      in
+      let n = Mx_trace.Trace_stream.length st in
+      Printf.printf "format:    binary (MXTB v%d)\n"
+        Mx_trace.Trace_codec.version;
+      Printf.printf "workload:  %s\n" sw.Mx_trace.Workload.s_name;
+      Printf.printf "cpu_ops:   %d\n" sw.Mx_trace.Workload.s_cpu_ops;
+      Printf.printf "accesses:  %d\n" n;
+      Printf.printf "chunks:    %d x %d accesses\n"
+        (Mx_trace.Trace_stream.chunk_count st)
+        (Mx_trace.Trace_stream.chunk_cap st);
+      Printf.printf "file:      %d bytes (%.2f bytes/access, %d header+index)\n"
+        bytes
+        (bytes_per_access ~bytes ~accesses:n)
+        index_bytes;
+      List.iter
+        (fun (r : Mx_trace.Region.t) ->
+          Printf.printf "region %d: %s base=0x%x size=%d elem=%d hint=%s\n"
+            r.Mx_trace.Region.id r.Mx_trace.Region.name r.Mx_trace.Region.base
+            r.Mx_trace.Region.size r.Mx_trace.Region.elem_size
+            (Mx_trace.Region.pattern_to_string r.Mx_trace.Region.hint))
+        sw.Mx_trace.Workload.s_regions;
+      Mx_trace.Trace_stream.close st
+    | Mx_trace.Trace_io.Text ->
+      let w = load_trace_file path in
+      let n = Mx_trace.Workload.access_count w in
+      Printf.printf "format:    text (memorex-trace v1)\n";
+      Printf.printf "workload:  %s\n" w.Mx_trace.Workload.name;
+      Printf.printf "cpu_ops:   %d\n" w.Mx_trace.Workload.cpu_ops;
+      Printf.printf "accesses:  %d\n" n;
+      Printf.printf "file:      %d bytes (%.2f bytes/access)\n" bytes
+        (bytes_per_access ~bytes ~accesses:n);
+      List.iter
+        (fun (r : Mx_trace.Region.t) ->
+          Printf.printf "region %d: %s base=0x%x size=%d elem=%d hint=%s\n"
+            r.Mx_trace.Region.id r.Mx_trace.Region.name r.Mx_trace.Region.base
+            r.Mx_trace.Region.size r.Mx_trace.Region.elem_size
+            (Mx_trace.Region.pattern_to_string r.Mx_trace.Region.hint))
+        w.Mx_trace.Workload.regions
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Print a trace file's header and chunk index without decoding the \
+          accesses")
+    Term.(const run $ trace_path_arg)
+
+let trace_stat_cmd =
+  let run path =
+    let sw = open_trace_stream path in
+    let st = sw.Mx_trace.Workload.s_stream in
+    let n = Mx_trace.Trace_stream.length st in
+    let reads = ref 0 and writes = ref 0 and traffic = ref 0 in
+    let per_region = Hashtbl.create 16 in
+    Mx_trace.Trace_stream.iter_packed st ~f:(fun ~addr:_ ~size ~kind ~region ->
+        (match kind with
+        | Mx_trace.Access.Read -> incr reads
+        | Mx_trace.Access.Write -> incr writes);
+        traffic := !traffic + size;
+        let c, b =
+          match Hashtbl.find_opt per_region region with
+          | Some v -> v
+          | None ->
+            let v = (ref 0, ref 0) in
+            Hashtbl.add per_region region v;
+            v
+        in
+        incr c;
+        b := !b + size);
+    Mx_trace.Trace_stream.close st;
+    let bytes = trace_file_size path in
+    Printf.printf "%s: %d accesses (%d reads, %d writes), %d bytes of traffic\n"
+      sw.Mx_trace.Workload.s_name n !reads !writes !traffic;
+    Printf.printf "file: %d bytes, %.2f bytes/access\n" bytes
+      (bytes_per_access ~bytes ~accesses:n);
+    let t =
+      Mx_util.Table.create
+        ~headers:[ "region"; "accesses"; "share"; "traffic [B]" ]
+    in
+    let region_name id =
+      match
+        List.find_opt
+          (fun (r : Mx_trace.Region.t) -> r.Mx_trace.Region.id = id)
+          sw.Mx_trace.Workload.s_regions
+      with
+      | Some r -> r.Mx_trace.Region.name
+      | None -> Printf.sprintf "#%d" id
+    in
+    Hashtbl.fold (fun id v acc -> (id, v) :: acc) per_region []
+    |> List.sort compare
+    |> List.iter (fun (id, (c, b)) ->
+           Mx_util.Table.add_row t
+             [
+               region_name id;
+               string_of_int !c;
+               Printf.sprintf "%.1f%%"
+                 (100.0 *. float_of_int !c /. float_of_int (max 1 n));
+               string_of_int !b;
+             ]);
+    Mx_util.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:"Stream through a trace file and print access statistics")
+    Term.(const run $ trace_path_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Record, compact and inspect trace files (text and compact binary \
+          formats)")
+    [ trace_record_cmd; trace_compact_cmd; trace_inspect_cmd; trace_stat_cmd ]
+
 let main_cmd =
   let doc = "Memory system connectivity exploration (ConEx, DATE 2002)" in
   Cmd.group
     (Cmd.info "conex" ~version:"1.0.0" ~doc)
     [
       profile_cmd; apex_cmd; explore_cmd; select_cmd; strategies_cmd;
-      explain_cmd; check_cmd;
+      explain_cmd; check_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -323,6 +323,121 @@ let trace_suite =
         R.check
           (Mx_trace.Trace_io.to_string (Mx_trace.Trace_io.of_string s) = s)
           "to_string (of_string s) <> s");
+    R.prop ~cost:2 "binary round-trip preserves the workload" (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let w = Gen.workload g ~size in
+        let chunk_cap = 1 + Prng.int g ~bound:256 in
+        let s = Mx_trace.Trace_io.to_binary_string ~chunk_cap w in
+        let w2 = Mx_trace.Trace_io.of_binary_string s in
+        R.all_of
+          [
+            R.check
+              (Workload.fingerprint w2 = Workload.fingerprint w)
+              "binary round-trip changed the workload fingerprint";
+            R.check
+              (w2.Workload.name = w.Workload.name
+              && w2.Workload.cpu_ops = w.Workload.cpu_ops
+              && w2.Workload.regions = w.Workload.regions)
+              "binary round-trip changed the name, cpu_ops or region table";
+            R.check
+              (Mx_trace.Trace_io.to_binary_string ~chunk_cap w2 = s)
+              "binary serialisation is not a fixpoint at chunk_cap %d"
+              chunk_cap;
+          ]);
+    R.prop ~cost:3
+      "fingerprint agrees across in-memory, text and binary paths"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let w = Gen.workload g ~size in
+        let fp = Workload.fingerprint w in
+        let text = Mx_trace.Trace_io.to_string w in
+        let bin =
+          Mx_trace.Trace_io.to_binary_string
+            ~chunk_cap:(1 + Prng.int g ~bound:128)
+            w
+        in
+        let path = Filename.temp_file "conex_check_fp" ".mxtb" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            let oc = open_out_bin path in
+            output_string oc bin;
+            close_out oc;
+            let sw = Mx_trace.Trace_io.open_stream ~path in
+            let sfp = Workload.streamed_fingerprint sw in
+            Mx_trace.Trace_stream.close sw.Workload.s_stream;
+            let mem_stream =
+              Workload.streamed ~name:w.Workload.name
+                ~regions:w.Workload.regions ~cpu_ops:w.Workload.cpu_ops
+                (Mx_trace.Trace_stream.of_trace w.Workload.trace)
+            in
+            R.all_of
+              [
+                R.check
+                  (Workload.fingerprint (Mx_trace.Trace_io.of_string text)
+                  = fp)
+                  "text-loaded fingerprint differs";
+                R.check
+                  (Workload.fingerprint
+                     (Mx_trace.Trace_io.of_binary_string bin)
+                  = fp)
+                  "binary-loaded fingerprint differs";
+                R.check (sfp = fp) "file-streamed fingerprint differs";
+                R.check
+                  (Workload.streamed_fingerprint mem_stream = fp)
+                  "in-memory streamed fingerprint differs";
+              ]));
+    R.prop ~cost:5
+      "streamed replay is byte-identical to the in-memory simulator"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let p = Gen.pipeline g ~size in
+        let w = p.Gen.p_workload and arch = p.Gen.p_arch in
+        let conn = Gen.conn g p.Gen.p_brg in
+        let path = Filename.temp_file "conex_check_stream" ".mxtb" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            Mx_trace.Trace_io.save ~format:Mx_trace.Trace_io.Binary
+              ~chunk_cap:(1 + Prng.int g ~bound:64)
+              w ~path;
+            R.all_of
+              (List.map
+                 (fun (label, sample, cpu) ->
+                   let mat =
+                     Mx_sim.Cycle_sim.run ?sample ~cpu ~workload:w ~arch ~conn
+                       ()
+                   in
+                   let sw = Mx_trace.Trace_io.open_stream ~path in
+                   let str =
+                     Mx_sim.Cycle_sim.run_stream ?sample ~cpu ~workload:sw
+                       ~arch ~conn ()
+                   in
+                   Mx_trace.Trace_stream.close sw.Workload.s_stream;
+                   match result_mismatch ~tol:0.0 mat str with
+                   | None -> R.Pass
+                   | Some diff ->
+                     R.failf "streamed replay diverges under %s (%s)" label
+                       diff)
+                 [
+                   ("Blocking", None, Mx_sim.Cycle_sim.Blocking);
+                   ("Overlap", None, Mx_sim.Cycle_sim.Overlap 4);
+                   ("Blocking+sample", Some (7, 23), Mx_sim.Cycle_sim.Blocking);
+                   ("Overlap+sample", Some (7, 23), Mx_sim.Cycle_sim.Overlap 4);
+                 ])));
+    R.prop ~cost:2 "truncated binary input is rejected with Parse_error"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let w = Gen.workload g ~size in
+        let s = Mx_trace.Trace_io.to_binary_string w in
+        let n = String.length s in
+        let cut = 1 + Prng.int g ~bound:(n - 1) in
+        match Mx_trace.Trace_io.of_binary_string (String.sub s 0 cut) with
+        | _ -> R.failf "truncation to %d of %d bytes parsed successfully" cut n
+        | exception Mx_trace.Trace_io.Parse_error _ -> R.Pass
+        | exception e ->
+          R.failf "truncation to %d of %d bytes leaked %s" cut n
+            (Printexc.to_string e));
   ]
 
 (* -- stats --------------------------------------------------------------- *)

@@ -58,11 +58,23 @@ type bus_stat = {
   utilization : float;
 }
 
-let run_traced ?sample ?(cpu = Blocking) ~workload ~arch ~conn () =
+(* Does chunk [first, first+len) intersect any "on" window of the
+   (on, off) sampling pattern?  Windows repeat with period p = on+off;
+   the chunk misses them all only when it sits entirely inside one off
+   span. *)
+let chunk_has_on_window ~on ~off ~first ~len =
+  let p = on + off in
+  let r = first mod p in
+  r < on || len > p - r
+
+let run_stream_traced ?sample ?(cpu = Blocking) ?(seek = false)
+    ~(workload : Mx_trace.Workload.streamed) ~arch ~conn () =
   (match sample with
   | Some (on, off) when on <= 0 || off < 0 ->
     invalid_arg "Cycle_sim.run: bad sampling windows"
   | _ -> ());
+  if seek && sample = None then
+    invalid_arg "Cycle_sim.run_stream: ~seek requires ~sample";
   let mshrs =
     match cpu with
     | Blocking -> [||]
@@ -99,13 +111,13 @@ let run_traced ?sample ?(cpu = Blocking) ~workload ~arch ~conn () =
         dram_leg.(i) <- route bindings dram_src Channel.Dram)
     Serving.all;
   let msim =
-    Mem_sim.create arch ~regions:workload.Mx_trace.Workload.regions
+    Mem_sim.create arch ~regions:workload.Mx_trace.Workload.s_regions
   in
-  let trace = workload.Mx_trace.Workload.trace in
-  let n = Mx_trace.Trace.length trace in
+  let stream = workload.Mx_trace.Workload.s_stream in
+  let n = Mx_trace.Trace_stream.length stream in
   let ops_rate =
     if n = 0 then 0.0
-    else float_of_int workload.Mx_trace.Workload.cpu_ops /. float_of_int n
+    else float_of_int workload.Mx_trace.Workload.s_cpu_ops /. float_of_int n
   in
   (* accumulators *)
   let now = ref 0 in
@@ -129,7 +141,7 @@ let run_traced ?sample ?(cpu = Blocking) ~workload ~arch ~conn () =
     | Some (on, off) -> i mod (on + off) < on
   in
   let i = ref 0 in
-  Mx_trace.Trace.iter_packed trace ~f:(fun ~addr ~size ~kind ~region ->
+  let per_access ~addr ~size ~kind ~region =
       let write = kind = Mx_trace.Access.Write in
       (* interleaved compute cycles *)
       ops_acc := !ops_acc +. ops_rate;
@@ -273,7 +285,45 @@ let run_traced ?sample ?(cpu = Blocking) ~workload ~arch ~conn () =
         if o.Mem_sim.dram_bytes > 0 then
           ignore (Mx_mem.Dram.access (Mem_sim.dram msim) ~addr)
       end;
-      incr i);
+      incr i
+  in
+  (* A skipped span must still advance the compute-gap recurrence, so
+     the accesses that ARE replayed see the same interleaved gaps as a
+     full pass.  Same float ops per access as the live path. *)
+  let fast_forward len =
+    for _ = 1 to len do
+      ops_acc := !ops_acc +. ops_rate;
+      let gap = int_of_float !ops_acc in
+      ops_acc := !ops_acc -. float_of_int gap
+    done;
+    i := !i + len
+  in
+  for ci = 0 to Mx_trace.Trace_stream.chunk_count stream - 1 do
+    let clen = Mx_trace.Trace_stream.chunk_length stream ci in
+    let skip =
+      seek
+      &&
+      match sample with
+      | Some (on, off) ->
+        not
+          (chunk_has_on_window ~on ~off
+             ~first:(Mx_trace.Trace_stream.chunk_start stream ci)
+             ~len:clen)
+      | None -> false
+    in
+    if skip then fast_forward clen
+    else begin
+      let c = Mx_trace.Trace_stream.get_chunk stream ci in
+      let open Mx_trace.Trace_stream in
+      for k = c.c_off to c.c_off + c.c_len - 1 do
+        let meta = c.c_metas.(k) in
+        per_access ~addr:c.c_addrs.(k)
+          ~size:(Mx_trace.Trace.meta_size meta)
+          ~kind:(Mx_trace.Trace.meta_kind meta)
+          ~region:(Mx_trace.Trace.meta_region meta)
+      done
+    end
+  done;
   let sampled = max 1 !sampled_accesses in
   let avg_lat = float_of_int !total_lat /. float_of_int sampled in
   let scale = float_of_int n /. float_of_int sampled in
@@ -329,6 +379,21 @@ let run_traced ?sample ?(cpu = Blocking) ~workload ~arch ~conn () =
        stats
    end);
   (result, stats)
+
+let run_stream ?sample ?cpu ?seek ~workload ~arch ~conn () =
+  fst (run_stream_traced ?sample ?cpu ?seek ~workload ~arch ~conn ())
+
+(* The in-memory entry points replay through a zero-copy stream with
+   the default chunk geometry: same accesses, same order, same float
+   accumulation — byte-identical to the pre-stream implementation. *)
+let run_traced ?sample ?cpu ~workload ~arch ~conn () =
+  let streamed =
+    Mx_trace.Workload.streamed ~name:workload.Mx_trace.Workload.name
+      ~regions:workload.Mx_trace.Workload.regions
+      ~cpu_ops:workload.Mx_trace.Workload.cpu_ops
+      (Mx_trace.Trace_stream.of_trace workload.Mx_trace.Workload.trace)
+  in
+  run_stream_traced ?sample ?cpu ~workload:streamed ~arch ~conn ()
 
 let run ?sample ?cpu ~workload ~arch ~conn () =
   fst (run_traced ?sample ?cpu ~workload ~arch ~conn ())

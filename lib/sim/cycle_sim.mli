@@ -12,7 +12,15 @@
 
     Time-sampling mode ([~sample:(on, off)], Kessler-style) keeps
     module state warm on every access but only accumulates timing
-    during "on" windows; the paper uses a 1/9 on/off ratio. *)
+    during "on" windows; the paper uses a 1/9 on/off ratio.
+
+    The simulator consumes a {!Mx_trace.Trace_stream.t}: the in-memory
+    entry points ({!run}, {!run_traced}) wrap their trace in a
+    zero-copy stream, and {!run_stream} replays a file-backed stream
+    (e.g. {!Mx_trace.Trace_io.open_stream}) chunk by chunk in constant
+    memory.  Both paths walk the identical access sequence with the
+    identical arithmetic, so their results are byte-identical —
+    including under [~sample]. *)
 
 type cpu_model =
   | Blocking
@@ -62,6 +70,41 @@ val run_traced :
   Sim_result.t * bus_stat list
 (** {!run} plus the per-component utilisation breakdown (one entry per
     connectivity binding, in binding order). *)
+
+val run_stream :
+  ?sample:int * int ->
+  ?cpu:cpu_model ->
+  ?seek:bool ->
+  workload:Mx_trace.Workload.streamed ->
+  arch:Mx_mem.Mem_arch.t ->
+  conn:Mx_connect.Conn_arch.t ->
+  unit ->
+  Sim_result.t
+(** Replay a streamed workload.  With [seek:false] (the default) every
+    chunk is fetched in order and the result is byte-identical to
+    materialising the stream and calling {!run} — the property the
+    [trace] check suite pins down.
+
+    [~seek:true] (requires [~sample]) is {e cold sampling}: chunks that
+    fall entirely inside "off" windows are never fetched — no I/O, no
+    decode, and {e no module-state warming} from the skipped spans
+    (compute-gap phase is still advanced exactly).  On a 1/9 sampling
+    ratio with the default chunk size this reads under a quarter of the
+    file's chunks, at the cost of colder caches in the on-windows than
+    warm (seekless) sampling would give; use it for interactive scans
+    of very large traces, not for golden numbers.
+    @raise Invalid_argument for [~seek:true] without [~sample]. *)
+
+val run_stream_traced :
+  ?sample:int * int ->
+  ?cpu:cpu_model ->
+  ?seek:bool ->
+  workload:Mx_trace.Workload.streamed ->
+  arch:Mx_mem.Mem_arch.t ->
+  conn:Mx_connect.Conn_arch.t ->
+  unit ->
+  Sim_result.t * bus_stat list
+(** {!run_stream} plus the per-component utilisation breakdown. *)
 
 val record_utilization_gauges : ?registry:Mx_util.Metrics.t -> unit -> unit
 (** Derive [cycle_sim.bus.<component>.utilization] gauges (aggregate

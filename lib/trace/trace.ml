@@ -22,13 +22,24 @@ let grow t =
   t.addrs <- na;
   t.metas <- nm
 
+let pack_meta ~size ~kind ~region =
+  if region < 0 then invalid_arg "Trace.pack_meta: negative region id";
+  let kbit = match kind with Access.Read -> 0 | Access.Write -> 1 in
+  (region lsl 3) lor (Access.size_code size lsl 1) lor kbit
+
+let meta_kind meta = if meta land 1 = 0 then Access.Read else Access.Write
+let meta_size meta = Access.size_of_code ((meta lsr 1) land 3)
+let meta_region meta = meta lsr 3
+
+let add_packed t ~addr ~meta =
+  if t.len = Array.length t.addrs then grow t;
+  t.addrs.(t.len) <- addr;
+  t.metas.(t.len) <- meta;
+  t.len <- t.len + 1
+
 let add t ~addr ~size ~kind ~region =
   if region < 0 then invalid_arg "Trace.add: negative region id";
-  if t.len = Array.length t.addrs then grow t;
-  let kbit = match kind with Access.Read -> 0 | Access.Write -> 1 in
-  t.addrs.(t.len) <- addr;
-  t.metas.(t.len) <- (region lsl 3) lor (Access.size_code size lsl 1) lor kbit;
-  t.len <- t.len + 1
+  add_packed t ~addr ~meta:(pack_meta ~size ~kind ~region)
 
 let decode meta =
   let kind = if meta land 1 = 0 then Access.Read else Access.Write in
@@ -74,15 +85,25 @@ let sub t ~pos ~len =
 (* FNV-1a over the packed arrays (both words of every access), entirely
    in native-int arithmetic: deterministic across runs and domains,
    sensitive to any single-access change.  The offset basis is the FNV-1a
-   64-bit basis truncated to OCaml's 63-bit native int. *)
+   64-bit basis truncated to OCaml's 63-bit native int.  The three hash_*
+   primitives are exposed so {!Trace_stream} can fold the identical hash
+   over a chunked source without materialising it. *)
+let hash_basis = 0x3bf29ce484222325
+
+let hash_step h ~addr ~meta =
+  let h = (h lxor addr) * 0x100000001b3 in
+  (h lxor meta) * 0x100000001b3
+
+let hash_finish h = h land max_int
+
 let content_hash t =
-  let h = ref 0x3bf29ce484222325 in
-  let step x = h := (!h lxor x) * 0x100000001b3 in
+  let h = ref hash_basis in
   for i = 0 to t.len - 1 do
-    step t.addrs.(i);
-    step t.metas.(i)
+    h := hash_step !h ~addr:t.addrs.(i) ~meta:t.metas.(i)
   done;
-  !h land max_int
+  hash_finish !h
+
+let backing t = (t.addrs, t.metas)
 
 let total_bytes t =
   let acc = ref 0 in

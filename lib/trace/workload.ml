@@ -36,16 +36,55 @@ let concat ~name = function
    list is canonical as-is; the trace itself is folded to its FNV-1a
    content hash rather than inlined.  O(trace length) — callers that
    evaluate one workload many times should compute this once. *)
-let fingerprint t =
+let fingerprint_parts ~name ~length ~hash ~cpu_ops ~regions =
   let region (r : Region.t) =
     Printf.sprintf "%d:%s:%d:%d:%d:%s" r.Region.id r.Region.name r.Region.base
       r.Region.size r.Region.elem_size
       (Region.pattern_to_string r.Region.hint)
   in
-  Printf.sprintf "wl:%s;n=%d;h=%x;ops=%d;r=%s" t.name (Trace.length t.trace)
-    (Trace.content_hash t.trace)
-    t.cpu_ops
-    (String.concat "," (List.map region t.regions))
+  Printf.sprintf "wl:%s;n=%d;h=%x;ops=%d;r=%s" name length hash cpu_ops
+    (String.concat "," (List.map region regions))
+
+let fingerprint t =
+  fingerprint_parts ~name:t.name ~length:(Trace.length t.trace)
+    ~hash:(Trace.content_hash t.trace) ~cpu_ops:t.cpu_ops ~regions:t.regions
+
+type streamed = {
+  s_name : string;
+  s_regions : Region.t list;
+  s_cpu_ops : int;
+  s_stream : Trace_stream.t;
+  mutable s_fp : string option;
+}
+
+let streamed ~name ~regions ~cpu_ops stream =
+  { s_name = name; s_regions = regions; s_cpu_ops = cpu_ops;
+    s_stream = stream; s_fp = None }
+
+(* The stream hashes with the same FNV-1a fold as Trace.content_hash,
+   so this fingerprint equals [fingerprint (of_streamed s)] without
+   ever materialising the trace.  Memoised: hashing reads the whole
+   stream, and the eval cache asks for the fingerprint repeatedly. *)
+let streamed_fingerprint s =
+  match s.s_fp with
+  | Some fp -> fp
+  | None ->
+    let fp =
+      fingerprint_parts ~name:s.s_name
+        ~length:(Trace_stream.length s.s_stream)
+        ~hash:(Trace_stream.content_hash s.s_stream)
+        ~cpu_ops:s.s_cpu_ops ~regions:s.s_regions
+    in
+    s.s_fp <- Some fp;
+    fp
+
+let of_streamed s =
+  {
+    name = s.s_name;
+    regions = s.s_regions;
+    trace = Trace_stream.to_trace s.s_stream;
+    cpu_ops = s.s_cpu_ops;
+  }
 
 let region_by_name t name =
   match List.find_opt (fun r -> r.Region.name = name) t.regions with

@@ -30,8 +30,50 @@ val fingerprint : t -> string
     stream).  O(trace length) — compute once per workload, not per
     evaluation. *)
 
+val fingerprint_parts :
+  name:string ->
+  length:int ->
+  hash:int ->
+  cpu_ops:int ->
+  regions:Region.t list ->
+  string
+(** The fingerprint format itself, usable from any trace source that
+    knows its length and content hash.  [fingerprint t] is
+    [fingerprint_parts] applied to [t]'s fields. *)
+
 val region_by_name : t -> string -> Region.t
 (** @raise Not_found when the workload has no such region. *)
+
+(** {2 Streamed workloads}
+
+    A workload whose trace lives behind a {!Trace_stream.t} — possibly
+    a file never loaded into memory.  The cycle simulator replays it
+    directly ({!Mx_sim.Cycle_sim.run_stream}); the fingerprint is
+    computed by streaming, and matches the materialised workload's
+    {!fingerprint} exactly, so evaluation caches are shared across
+    in-memory, text-loaded and binary-streamed paths. *)
+
+type streamed = {
+  s_name : string;
+  s_regions : Region.t list;
+  s_cpu_ops : int;
+  s_stream : Trace_stream.t;
+  mutable s_fp : string option;  (** memoised {!streamed_fingerprint} *)
+}
+
+val streamed :
+  name:string ->
+  regions:Region.t list ->
+  cpu_ops:int ->
+  Trace_stream.t ->
+  streamed
+
+val streamed_fingerprint : streamed -> string
+(** Equal to [fingerprint (of_streamed s)], computed without
+    materialising the trace.  Reads the whole stream once; memoised. *)
+
+val of_streamed : streamed -> t
+(** Materialise the stream into an ordinary in-memory workload. *)
 
 (** Instrumentation helper for kernels: counts CPU work and appends
     element-level reads/writes to the trace. *)
