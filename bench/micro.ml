@@ -12,7 +12,7 @@ let prepared =
      let profile = Mx_trace.Profile.analyze w in
      let arch =
        Mx_mem.Mem_arch.make ~label:"bench"
-         ~cache:{ Mx_mem.Params.c_size = 8192; c_line = 32; c_assoc = 2; c_latency = 1 }
+         ~cache:{ Mx_mem.Params.c_size = 8192; c_line = 32; c_assoc = 2; c_latency = 1; c_policy = Mx_mem.Params.default_policy }
          ~bindings:
            (Array.make (List.length w.Mx_trace.Workload.regions)
               Mx_mem.Mem_arch.To_cache)
@@ -87,7 +87,7 @@ let test_substrate_cache =
     fun () ->
       let c =
         Mx_mem.Cache.create
-          { Mx_mem.Params.c_size = 8192; c_line = 32; c_assoc = 2; c_latency = 1 }
+          { Mx_mem.Params.c_size = 8192; c_line = 32; c_assoc = 2; c_latency = 1; c_policy = Mx_mem.Params.default_policy }
       in
       Array.iter (fun addr -> ignore (Mx_mem.Cache.access c ~addr ~write:false)) addrs)
 

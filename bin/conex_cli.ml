@@ -320,18 +320,70 @@ let parse_scenario s =
   | [ "perf"; v ] -> Conex.Scenario.Perf_constrained (num v)
   | _ -> bad ()
 
+let parse_policies s =
+  let all_names =
+    String.concat "|" (List.map Mx_mem.Params.policy_to_string
+                         Mx_mem.Params.all_policies)
+  and preset_names =
+    String.concat "|" (List.map fst Mx_mem.Params.policy_presets)
+  in
+  let toks =
+    List.filter (fun t -> t <> "")
+      (List.map String.trim (String.split_on_char ',' s))
+  in
+  if toks = [] then die_usage "--policies needs at least one policy name";
+  let policies =
+    List.map
+      (fun tok ->
+        match Mx_mem.Params.policy_of_string tok with
+        | Some p -> p
+        | None ->
+          die_usage "unknown policy %S (expected %s, or a preset: %s)" tok
+            all_names preset_names)
+      toks
+  in
+  (* presets may alias (haswell and skylake are both qlru_h11_m1):
+     dedupe so the cross-product has no identical design points *)
+  List.fold_left
+    (fun acc p -> if List.mem p acc then acc else acc @ [ p ])
+    [] policies
+
+let config_with_policies config = function
+  | None -> config
+  | Some policies ->
+    let cross cs =
+      List.concat_map
+        (fun c ->
+          List.map (fun p -> Mx_mem.Module_lib.with_policy p c) policies)
+        cs
+    in
+    let apex = config.Conex.Explore.apex in
+    {
+      config with
+      Conex.Explore.apex =
+        {
+          apex with
+          Mx_apex.Explore.caches = cross apex.Mx_apex.Explore.caches;
+          l2s = cross apex.Mx_apex.Explore.l2s;
+        };
+    }
+
 let explore_cmd =
-  let run name scale seed reduced jobs cache_size scenario plot trace_in csv
-      bus_report metrics trace_out events_out chrome_out =
+  let run name scale seed reduced jobs cache_size policies scenario plot
+      trace_in csv bus_report metrics trace_out events_out chrome_out =
     (* validate cheap inputs before hours of exploration *)
     let scenario = Option.map parse_scenario scenario in
+    let policies = Option.map parse_policies policies in
     if trace_in = None then check_workload_name name;
     List.iter validate_out_path [ csv; trace_out; events_out; chrome_out ];
     let w = resolve_workload name scale seed trace_in in
     Mx_sim.Eval.set_cache_capacity cache_size;
     metrics_begin metrics trace_out chrome_out;
     events_begin events_out chrome_out;
-    let r = Conex.Explore.run ~config:(config_of_reduced reduced jobs) w in
+    let config =
+      config_with_policies (config_of_reduced reduced jobs) policies
+    in
+    let r = Conex.Explore.run ~config w in
     Printf.printf
       "%s: %d estimates -> %d simulations -> %d pareto designs (%.1fs)\n\n"
       name r.Conex.Explore.n_estimates r.Conex.Explore.n_simulations
@@ -407,13 +459,28 @@ let explore_cmd =
       & info [ "bus-report" ]
           ~doc:"Print per-component utilisation of the best pareto design.")
   in
+  let policies_arg =
+    let doc =
+      "Comma-separated replacement policies crossed onto every cache of the \
+       catalogue, widening the design space (same capacity, different policy \
+       = different pareto point).  Accepts policy names \
+       ($(b,true_lru), $(b,fifo), $(b,tree_plru), $(b,qlru_h11_m1), \
+       $(b,qlru_h00_m0), $(b,mru_n)) and CPU presets ($(b,core2), \
+       $(b,nehalem), $(b,sandybridge), $(b,haswell), $(b,skylake), \
+       $(b,coffeelake)).  Duplicate policies (aliasing presets) are run \
+       once.  Default: true_lru only, the pre-policy behaviour."
+    in
+    Arg.(
+      value & opt (some string) None
+      & info [ "policies" ] ~docv:"LIST" ~doc)
+  in
   Cmd.v
     (Cmd.info "explore" ~doc:"Full two-phase ConEx exploration")
     Term.(
       const run $ workload_arg $ scale_arg $ seed_arg $ reduced_arg $ jobs_arg
-      $ cache_size_arg $ scenario_arg $ plot_arg $ trace_in_arg $ csv_arg
-      $ bus_report_arg $ metrics_arg $ trace_out_arg $ events_out_arg
-      $ chrome_out_arg)
+      $ cache_size_arg $ policies_arg $ scenario_arg $ plot_arg $ trace_in_arg
+      $ csv_arg $ bus_report_arg $ metrics_arg $ trace_out_arg
+      $ events_out_arg $ chrome_out_arg)
 
 (* -- select: re-select from a saved CSV ---------------------------------- *)
 

@@ -15,8 +15,8 @@ let () =
   let w = Mx_trace.Kern_compress.generate ~scale:80_000 ~seed:9 in
   let regions = w.Mx_trace.Workload.regions in
   let bindings = Array.make (List.length regions) Mem_arch.To_cache in
-  let l1_small = { Params.c_size = 4096; c_line = 32; c_assoc = 2; c_latency = 1 } in
-  let l1_big = { Params.c_size = 32768; c_line = 32; c_assoc = 2; c_latency = 2 } in
+  let l1_small = { Params.c_size = 4096; c_line = 32; c_assoc = 2; c_latency = 1; c_policy = Params.default_policy } in
+  let l1_big = { Params.c_size = 32768; c_line = 32; c_assoc = 2; c_latency = 2; c_policy = Params.default_policy } in
   let l2 = List.hd Mx_mem.Module_lib.l2_caches in
   let archs =
     [

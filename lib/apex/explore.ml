@@ -88,7 +88,15 @@ let label_of ~cache ~sram ~sbuf ~lldma ~l2 ~victim ~wbuf =
       (fun x -> x)
       [
         Option.map
-          (fun (c : Params.cache) -> Printf.sprintf "C%dK" (c.c_size / 1024))
+          (fun (c : Params.cache) ->
+            (* non-default policies are part of the design's identity,
+               so they show in the label; the default stays "C%dK" so
+               existing output is unchanged *)
+            if c.c_policy = Params.default_policy then
+              Printf.sprintf "C%dK" (c.c_size / 1024)
+            else
+              Printf.sprintf "C%dK-%s" (c.c_size / 1024)
+                (Params.policy_to_string c.c_policy))
           cache;
         (if sram then Some "SP" else None);
         Option.map

@@ -82,7 +82,37 @@ let cache g =
     max 1 (min (1 lsl Prng.int g ~bound:3) (1 lsl (size_log - line_log)))
   in
   { Params.c_size = 1 lsl size_log; c_line = 1 lsl line_log;
-    c_assoc = assoc; c_latency = 1 }
+    c_assoc = assoc; c_latency = 1; c_policy = Params.default_policy }
+
+(* -- replacement-policy differential cases ------------------------------ *)
+
+let repl_policy g =
+  Prng.pick g (Array.of_list Params.all_policies)
+
+let repl_geometry g ~size =
+  (* tiny power-of-two geometries (1..8 ways, 1..4 sets) so short
+     streams still fill sets and force evictions; associativity is
+     always a power of two, keeping every policy (tree-plru included)
+     applicable to the same geometry *)
+  let ways = 1 lsl Prng.int g ~bound:(min 4 (1 + size)) in
+  let sets = 1 lsl Prng.int g ~bound:3 in
+  let line = 16 in
+  { Params.c_size = sets * ways * line; c_line = line; c_assoc = ways;
+    c_latency = 1; c_policy = Params.default_policy }
+
+let repl_stream g ~size ~(geometry : Params.cache) =
+  let lines = geometry.Params.c_size / geometry.Params.c_line in
+  (* a line universe of twice the capacity keeps both reuse (hits) and
+     conflict (evictions) frequent *)
+  let universe = max 2 (2 * lines) in
+  let n = (8 * size) + 1 + Prng.int g ~bound:(8 * size) in
+  List.init n (fun _ ->
+      let line = Prng.int g ~bound:universe in
+      let addr =
+        (line * geometry.Params.c_line)
+        + Prng.int g ~bound:geometry.Params.c_line
+      in
+      (addr, Prng.bool g ~p:0.3))
 
 let mem_arch_spec g (w : Mx_trace.Workload.t) ~label =
   let regions = w.Mx_trace.Workload.regions in

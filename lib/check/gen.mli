@@ -40,6 +40,21 @@ val cache : Mx_util.Prng.t -> Mx_mem.Params.cache
 (** A valid cache geometry: power-of-two size (512B..16KB), line
     (16..64B) and associativity (clamped to the number of lines). *)
 
+val repl_policy : Mx_util.Prng.t -> Mx_mem.Params.policy
+(** One of {!Mx_mem.Params.all_policies}, uniformly. *)
+
+val repl_geometry : Mx_util.Prng.t -> size:int -> Mx_mem.Params.cache
+(** A tiny cache geometry for replacement-policy differential tests:
+    1..8 ways (power of two, growing with [size]), 1..4 sets, 16 B
+    lines, default policy (callers re-policy with a record update). *)
+
+val repl_stream :
+  Mx_util.Prng.t -> size:int -> geometry:Mx_mem.Params.cache ->
+  (int * bool) list
+(** An [(addr, write)] access stream over a line universe of twice the
+    geometry's capacity (so reuse and conflict are both frequent);
+    roughly [8 * size] to [16 * size] accesses. *)
+
 val mem_arch_spec :
   Mx_util.Prng.t -> Mx_trace.Workload.t -> label:string -> Mx_mem.Mem_arch.t
 (** A random valid memory architecture for the workload (cache

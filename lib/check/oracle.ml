@@ -262,6 +262,234 @@ let eval_direct ~fidelity ~workload ~arch ?profile ~conn () =
     Mx_sim.Cycle_sim.run ~sample:(on, off) ~workload ~arch ~conn ()
   | Mx_sim.Eval.Exact -> Mx_sim.Cycle_sim.run ~workload ~arch ~conn ()
 
+(* -- replacement-policy reference simulators ----------------------------- *)
+
+module Params = Mx_mem.Params
+
+type repl_event = {
+  o_hit : bool;
+  o_writeback : bool;
+  o_evicted_line : int option;
+}
+
+(* Each set is modelled the most direct way its policy allows:
+
+   - True_lru / Fifo are order-based: a set is a plain list of lines in
+     recency (resp. fill) order, no way indexes at all — the victim is
+     simply the last element.  This is deliberately a different
+     representation from the production per-way stamp arrays.
+   - Tree_plru / QLRU / MRU_N depend on way placement, so their sets
+     are an array of slots (filled lowest index first, like the
+     production cache) plus the policy's state written as a naive
+     direct transcription of its specification: a recursive binary
+     tree for PLRU, explicit age normalisation for QLRU, explicit
+     saturation clearing for MRU_N. *)
+
+(* recursive PLRU tree over way ranges; [toward_right] is where the
+   next victim walk goes *)
+type ptree =
+  | Pleaf
+  | Pnode of { mutable toward_right : bool; left : ptree; right : ptree }
+
+let rec ptree_make ways =
+  if ways <= 1 then Pleaf
+  else
+    Pnode
+      { toward_right = false; left = ptree_make (ways / 2);
+        right = ptree_make (ways / 2) }
+
+let rec ptree_victim t ~lo ~ways =
+  match t with
+  | Pleaf -> lo
+  | Pnode n ->
+    let half = ways / 2 in
+    if n.toward_right then ptree_victim n.right ~lo:(lo + half) ~ways:half
+    else ptree_victim n.left ~lo ~ways:half
+
+let rec ptree_touch t ~lo ~ways ~way =
+  match t with
+  | Pleaf -> ()
+  | Pnode n ->
+    let half = ways / 2 in
+    if way < lo + half then begin
+      n.toward_right <- true;
+      ptree_touch n.left ~lo ~ways:half ~way
+    end
+    else begin
+      n.toward_right <- false;
+      ptree_touch n.right ~lo:(lo + half) ~ways:half ~way
+    end
+
+type repl_slot = { mutable s_tag : int; mutable s_dirty : bool }
+
+type repl_set =
+  (* most recent first; (tag, dirty) *)
+  | Order of { mutable entries : (int * bool) list; promote_on_hit : bool }
+  | Slotted of {
+      slots : repl_slot array; (* s_tag = -1 when free *)
+      pstate : pstate;
+    }
+
+and pstate =
+  | Ptree of ptree
+  | Pages of { ages : int array; hit_ages : int array; fill_age : int }
+  | Pbits of bool array
+
+let repl_cache (p : Params.cache) stream =
+  Params.validate_cache p;
+  let ways = p.Params.c_assoc in
+  let sets = p.Params.c_size / p.Params.c_line / ways in
+  let make_set () =
+    match p.Params.c_policy with
+    | Params.True_lru -> Order { entries = []; promote_on_hit = true }
+    | Params.Fifo -> Order { entries = []; promote_on_hit = false }
+    | Params.Tree_plru ->
+      Slotted
+        {
+          slots = Array.init ways (fun _ -> { s_tag = -1; s_dirty = false });
+          pstate = Ptree (ptree_make ways);
+        }
+    | Params.Qlru_h11_m1 | Params.Qlru_h00_m0 ->
+      Slotted
+        {
+          slots = Array.init ways (fun _ -> { s_tag = -1; s_dirty = false });
+          pstate =
+            Pages
+              {
+                ages = Array.make ways 3;
+                hit_ages =
+                  (if p.Params.c_policy = Params.Qlru_h11_m1 then
+                     [| 0; 0; 1; 1 |]
+                   else [| 0; 0; 0; 0 |]);
+                fill_age =
+                  (if p.Params.c_policy = Params.Qlru_h11_m1 then 1 else 0);
+              };
+        }
+    | Params.Mru_n ->
+      Slotted
+        {
+          slots = Array.init ways (fun _ -> { s_tag = -1; s_dirty = false });
+          pstate = Pbits (Array.make ways false);
+        }
+  in
+  let table = Array.init sets (fun _ -> make_set ()) in
+  let global_line ~set tag = (tag * sets) + set in
+  let access (addr, write) =
+    let line = addr / p.Params.c_line in
+    let set = line mod sets in
+    let tag = line / sets in
+    match table.(set) with
+    | Order o -> (
+      match List.assoc_opt tag o.entries with
+      | Some dirty ->
+        let dirty = dirty || write in
+        if o.promote_on_hit then
+          o.entries <- (tag, dirty) :: List.remove_assoc tag o.entries
+        else
+          o.entries <-
+            List.map
+              (fun (t, d) -> if t = tag then (t, dirty) else (t, d))
+              o.entries;
+        { o_hit = true; o_writeback = false; o_evicted_line = None }
+      | None ->
+        if List.length o.entries < ways then begin
+          o.entries <- (tag, write) :: o.entries;
+          { o_hit = false; o_writeback = false; o_evicted_line = None }
+        end
+        else begin
+          (* the victim is the last entry: least recently used, or
+             oldest fill *)
+          let rec split_last acc = function
+            | [] -> assert false
+            | [ last ] -> (List.rev acc, last)
+            | e :: rest -> split_last (e :: acc) rest
+          in
+          let kept, (vtag, vdirty) = split_last [] o.entries in
+          o.entries <- (tag, write) :: kept;
+          {
+            o_hit = false;
+            o_writeback = vdirty;
+            o_evicted_line = Some (global_line ~set vtag);
+          }
+        end)
+    | Slotted s -> (
+      let hit_way = ref (-1) in
+      Array.iteri
+        (fun i slot -> if slot.s_tag = tag then hit_way := i)
+        s.slots;
+      let touch way =
+        match s.pstate with
+        | Ptree t -> ptree_touch t ~lo:0 ~ways ~way
+        | Pages q -> q.ages.(way) <- q.hit_ages.(q.ages.(way))
+        | Pbits bits ->
+          bits.(way) <- true;
+          if Array.for_all Fun.id bits then begin
+            Array.fill bits 0 ways false;
+            bits.(way) <- true
+          end
+      and fill way =
+        match s.pstate with
+        | Ptree t -> ptree_touch t ~lo:0 ~ways ~way
+        | Pages q -> q.ages.(way) <- q.fill_age
+        | Pbits bits -> bits.(way) <- false
+      and victim () =
+        match s.pstate with
+        | Ptree t -> ptree_victim t ~lo:0 ~ways
+        | Pages q ->
+          let max_age = Array.fold_left max 0 q.ages in
+          if max_age < 3 then
+            Array.iteri (fun i a -> q.ages.(i) <- a + (3 - max_age)) q.ages;
+          let rec first i = if q.ages.(i) = 3 then i else first (i + 1) in
+          first 0
+        | Pbits bits ->
+          let rec first i =
+            if i >= ways then 0 else if not bits.(i) then i else first (i + 1)
+          in
+          first 0
+      in
+      if !hit_way >= 0 then begin
+        let slot = s.slots.(!hit_way) in
+        slot.s_dirty <- slot.s_dirty || write;
+        touch !hit_way;
+        { o_hit = true; o_writeback = false; o_evicted_line = None }
+      end
+      else begin
+        let free = ref (-1) in
+        for i = ways - 1 downto 0 do
+          if s.slots.(i).s_tag = -1 then free := i
+        done;
+        let way = if !free >= 0 then !free else victim () in
+        let slot = s.slots.(way) in
+        let evicted =
+          if slot.s_tag = -1 then None
+          else Some (global_line ~set slot.s_tag)
+        in
+        let wb = slot.s_tag <> -1 && slot.s_dirty in
+        slot.s_tag <- tag;
+        slot.s_dirty <- write;
+        fill way;
+        { o_hit = false; o_writeback = wb; o_evicted_line = evicted }
+      end)
+  in
+  List.map access stream
+
+(* fully-associative LRU by stack distance: a reference hits iff its
+   line was used before and at most [capacity - 1] distinct lines were
+   used since *)
+let stack_hits ~capacity lines =
+  let stack = ref [] in
+  List.map
+    (fun line ->
+      let rec split depth acc = function
+        | [] -> (None, List.rev acc)
+        | x :: rest when x = line -> (Some depth, List.rev_append acc rest)
+        | x :: rest -> split (depth + 1) (x :: acc) rest
+      in
+      let depth, rest = split 0 [] !stack in
+      stack := line :: rest;
+      match depth with Some d -> d < capacity | None -> false)
+    lines
+
 (* -- statistics --------------------------------------------------------- *)
 
 let percentile xs ~p =

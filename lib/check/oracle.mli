@@ -72,6 +72,29 @@ val eval_direct :
 (** Direct recomputation of {!Mx_sim.Eval.eval}: calls the underlying
     evaluator for the fidelity with no cache involved. *)
 
+type repl_event = {
+  o_hit : bool;
+  o_writeback : bool;
+  o_evicted_line : int option;  (** global line number, as {!Mx_mem.Cache} *)
+}
+
+val repl_cache :
+  Mx_mem.Params.cache -> (int * bool) list -> repl_event list
+(** Per-policy reference cache simulator: replays an [(addr, write)]
+    stream through a naive model of the geometry's replacement policy
+    and returns the full hit/writeback/evict sequence — the
+    specification of {!Mx_mem.Cache.access}.  True LRU and FIFO sets
+    are recency/fill-ordered lists (no way indexes at all); tree-PLRU
+    uses a recursive binary tree; QLRU and MRU_N transcribe their
+    age/bit rules directly.  @raise Invalid_argument on a malformed
+    geometry. *)
+
+val stack_hits : capacity:int -> int list -> bool list
+(** Fully-associative LRU by stack distance over a line-number stream:
+    a reference hits iff its line was seen before with fewer than
+    [capacity] distinct lines touched since — the classical
+    stack-algorithm specification of single-set true LRU. *)
+
 val percentile : float list -> p:float -> float option
 (** Nearest-rank percentile by direct sort-and-index — the
     specification of {!Mx_util.Stats.percentile}. *)

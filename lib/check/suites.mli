@@ -22,11 +22,21 @@
     - [explore]     cache-on/off and jobs=1/jobs=N run parity,
                     estimate-vs-exact rank correlation floors,
                     event-log terminal-verdict coverage
+    - [replacement] per-policy differential fuzz of {!Mx_mem.Cache}
+                    against the {!Oracle.repl_cache} reference
+                    simulators (identical hit/writeback/evict
+                    sequences for every policy), plus metamorphic
+                    cross-policy invariants: fully-associative
+                    true-LRU equals the stack-distance oracle, all
+                    policies agree on compulsory misses, true-LRU
+                    misses are monotone in associativity
 
-    A hidden [selftest] suite (reachable by name, excluded from
-    {!all}) carries an intentionally broken oracle comparison, used by
-    the CLI contract tests to exercise the failure path end to end:
-    counterexample found, shrunk, reproduction line printed, exit 1. *)
+    Two hidden suites (reachable by name, excluded from {!all}) carry
+    intentionally broken oracle comparisons used by the CLI contract
+    tests to exercise the failure path end to end — counterexample
+    found, shrunk, reproduction line printed, exit 1: [selftest]
+    (sample-variance stddev oracle) and [replacement-selftest] (a
+    promotion-blind true-LRU oracle). *)
 
 val names : string list
 (** The public suite names, in the order {!all} runs them. *)
@@ -37,4 +47,5 @@ val all : ?jobs:int -> unit -> (string * Runner.prop list) list
     by the jobs-parity properties of the [explore] suite. *)
 
 val find : ?jobs:int -> string -> Runner.prop list option
-(** Look up one suite by name; resolves [selftest] too. *)
+(** Look up one suite by name; resolves the hidden [selftest] and
+    [replacement-selftest] suites too. *)

@@ -3,8 +3,7 @@ type t = {
   sets : int;
   tags : int array; (* sets * assoc; -1 = invalid *)
   dirty : bool array;
-  lru : int array; (* per way: last-use stamp *)
-  mutable stamp : int;
+  repl : Replacement.t array; (* one policy state per set *)
   mutable n_access : int;
   mutable n_miss : int;
   mutable n_wb : int;
@@ -21,8 +20,9 @@ let create p =
     sets;
     tags = Array.make ways (-1);
     dirty = Array.make ways false;
-    lru = Array.make ways 0;
-    stamp = 0;
+    repl =
+      Array.init sets (fun _ ->
+          Replacement.create p.Params.c_policy ~ways:p.Params.c_assoc);
     n_access = 0;
     n_miss = 0;
     n_wb = 0;
@@ -32,37 +32,36 @@ let params t = t.p
 
 let access t ~addr ~write =
   t.n_access <- t.n_access + 1;
-  t.stamp <- t.stamp + 1;
   let line = addr / t.p.Params.c_line in
   let set = line mod t.sets in
   let tag = line / t.sets in
   let base = set * t.p.Params.c_assoc in
   let assoc = t.p.Params.c_assoc in
+  let repl = t.repl.(set) in
   (* look for a hit *)
   let way = ref (-1) in
   for i = base to base + assoc - 1 do
     if t.tags.(i) = tag then way := i
   done;
   if !way >= 0 then begin
-    t.lru.(!way) <- t.stamp;
+    Replacement.touch repl ~way:(!way - base);
     if write then t.dirty.(!way) <- true;
     { hit = true; fill = false; writeback = false; evicted_line = None }
   end
   else begin
     t.n_miss <- t.n_miss + 1;
-    (* choose victim: first invalid way, else LRU *)
-    let victim = ref base in
+    (* choose victim: lowest-index invalid way; only a full set consults
+       the replacement policy *)
+    let victim = ref (-1) in
     (try
        for i = base to base + assoc - 1 do
          if t.tags.(i) = -1 then begin
            victim := i;
            raise Exit
          end
-       done;
-       for i = base + 1 to base + assoc - 1 do
-         if t.lru.(i) < t.lru.(!victim) then victim := i
        done
      with Exit -> ());
+    if !victim < 0 then victim := base + Replacement.victim repl;
     let had_line = t.tags.(!victim) <> -1 in
     let wb = had_line && t.dirty.(!victim) in
     if wb then t.n_wb <- t.n_wb + 1;
@@ -71,15 +70,14 @@ let access t ~addr ~write =
     in
     t.tags.(!victim) <- tag;
     t.dirty.(!victim) <- write;
-    t.lru.(!victim) <- t.stamp;
+    Replacement.fill repl ~way:(!victim - base);
     { hit = false; fill = true; writeback = wb; evicted_line }
   end
 
 let reset t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.dirty 0 (Array.length t.dirty) false;
-  Array.fill t.lru 0 (Array.length t.lru) 0;
-  t.stamp <- 0;
+  Array.iter Replacement.reset t.repl;
   t.n_access <- 0;
   t.n_miss <- 0;
   t.n_wb <- 0

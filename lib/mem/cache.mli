@@ -1,10 +1,25 @@
-(** Set-associative write-back, write-allocate cache with true LRU.
+(** Set-associative write-back, write-allocate cache with a pluggable
+    replacement policy ({!Params.cache.c_policy}, true LRU by default).
 
     The workhorse on-chip module of every traditional architecture in
     the paper (designs [a]/[b] of Fig. 6 are cache-only).  The simulator
     is state-accurate: hits, misses, fills and dirty evictions are all
     derived from the actual tag array, so miss ratios respond correctly
-    to size, line and associativity changes. *)
+    to size, line, associativity and policy changes.
+
+    {b Victim tie-breaking contract} (load-bearing for determinism, and
+    pinned by regression tests):
+
+    - on a miss, invalid ways are claimed first, in ascending way-index
+      order, before the replacement policy is consulted;
+    - only a set whose every way holds a valid line asks
+      {!Replacement.victim} for the eviction way, and every policy
+      breaks its remaining ties toward the lowest way index (for
+      [True_lru], equal stamps — which only arise before the set has
+      been filled — resolve to the lowest way).
+
+    Together these make the full hit/miss/evict sequence a pure
+    function of the access stream and the cache parameters. *)
 
 type t
 

@@ -12,11 +12,17 @@ let cache (c : Params.cache) =
   let lines = c.c_size / c.c_line in
   let sets = lines / c.c_assoc in
   let tag_bits_per_line = 32 - log2i sets - log2i c.c_line in
-  (* +2 status bits (valid, dirty), + log2(assoc) LRU bits *)
-  let line_meta = tag_bits_per_line + 2 + log2i c.c_assoc in
+  (* +2 status bits (valid, dirty) per line; replacement state is
+     charged per set by the policy's own accounting (true LRU's
+     ways*log2(ways) stamp bits per set equal the historical
+     log2(assoc) bits per line, so default costs are unchanged) *)
+  let line_meta = tag_bits_per_line + 2 in
+  let repl_bits =
+    sets * Replacement.state_bits_per_set c.c_policy ~ways:c.c_assoc
+  in
   let comparators = c.c_assoc * tag_bits_per_line * 6 in
   let control = 3000 + (c.c_assoc * 500) in
-  of_bits (data_bits + (lines * line_meta)) + comparators + control
+  of_bits (data_bits + (lines * line_meta) + repl_bits) + comparators + control
 
 let sram (s : Params.sram) =
   if s.s_size <= 0 then invalid_arg "Cost_model.sram: non-positive size";

@@ -11,7 +11,11 @@ val gates_per_bit : float
     amortisation). *)
 
 val cache : Params.cache -> int
-(** Data + tag + status bits, comparators, LRU and control. *)
+(** Data + tag + status bits, comparators, replacement state and
+    control.  Replacement state is policy-aware
+    ({!Replacement.state_bits_per_set}): true LRU pays
+    [ways * log2 ways] stamp bits per set, tree-PLRU [ways - 1],
+    QLRU [2 * ways], MRU_N [ways], FIFO [log2 ways]. *)
 
 val sram : Params.sram -> int
 val stream_buffer : Params.stream_buffer -> int

@@ -80,7 +80,8 @@ let fingerprint t =
     | Some p -> Buffer.add_string b (Printf.sprintf "%s=%s;" tag (f p))
   in
   let cache (c : Params.cache) =
-    Printf.sprintf "%d/%d/%d/%d" c.c_size c.c_line c.c_assoc c.c_latency
+    Printf.sprintf "%d/%d/%d/%d/%s" c.c_size c.c_line c.c_assoc c.c_latency
+      (Params.policy_tag c.c_policy)
   in
   Buffer.add_string b "mem:";
   opt "c" cache t.cache;
@@ -124,16 +125,26 @@ let describe t =
       [
         Option.map
           (fun (c : Params.cache) ->
-            Printf.sprintf "cache %dKB/%d/%d" (c.c_size / 1024) c.c_line
-              c.c_assoc)
+            if c.c_policy = Params.default_policy then
+              Printf.sprintf "cache %dKB/%d/%d" (c.c_size / 1024) c.c_line
+                c.c_assoc
+            else
+              Printf.sprintf "cache %dKB/%d/%d/%s" (c.c_size / 1024) c.c_line
+                c.c_assoc
+                (Params.policy_to_string c.c_policy))
           t.cache;
         Option.map
           (fun (s : Params.sram) -> Printf.sprintf "sram %dB" s.s_size)
           t.sram;
         Option.map
           (fun (c : Params.cache) ->
-            Printf.sprintf "L2 %dKB/%d/%d" (c.c_size / 1024) c.c_line
-              c.c_assoc)
+            if c.c_policy = Params.default_policy then
+              Printf.sprintf "L2 %dKB/%d/%d" (c.c_size / 1024) c.c_line
+                c.c_assoc
+            else
+              Printf.sprintf "L2 %dKB/%d/%d/%s" (c.c_size / 1024) c.c_line
+                c.c_assoc
+                (Params.policy_to_string c.c_policy))
           t.l2;
         Option.map
           (fun (s : Params.stream_buffer) ->

@@ -1,6 +1,7 @@
 let caches =
   let mk size line assoc latency =
-    { Params.c_size = size; c_line = line; c_assoc = assoc; c_latency = latency }
+    { Params.c_size = size; c_line = line; c_assoc = assoc;
+      c_latency = latency; c_policy = Params.default_policy }
   in
   [
     mk (2 * 1024) 16 1 1;
@@ -30,7 +31,8 @@ let lldmas =
   [ mk 16 8 6 1; mk 64 8 6 1 ]
 
 let l2_caches =
-  [ { Params.c_size = 64 * 1024; c_line = 64; c_assoc = 4; c_latency = 4 } ]
+  [ { Params.c_size = 64 * 1024; c_line = 64; c_assoc = 4; c_latency = 4;
+      c_policy = Params.default_policy } ]
 
 let victims = [ { Params.v_entries = 8; v_latency = 1 } ]
 
@@ -38,6 +40,9 @@ let write_buffers = [ { Params.wb_entries = 4; wb_drain = 4 } ]
 
 let default_dram =
   { Params.d_banks = 4; d_row = 2048; d_cas = 10; d_rcd = 8; d_rp = 8 }
+
+(* Re-policy a catalogue cache; explore's --policies cross-product. *)
+let with_policy policy (c : Params.cache) = { c with Params.c_policy = policy }
 
 let sram_latency = 1
 

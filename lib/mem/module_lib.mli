@@ -16,6 +16,10 @@ val victims : Params.victim list
 val write_buffers : Params.write_buffer list
 (** Posted-write-buffer options for direct off-chip stores. *)
 
+val with_policy : Params.policy -> Params.cache -> Params.cache
+(** The same geometry under another replacement policy — the
+    [--policies] cross-product over the cache catalogue. *)
+
 val default_dram : Params.dram
 (** SDRAM-class off-chip part used by all experiments. *)
 

@@ -1,4 +1,64 @@
-type cache = { c_size : int; c_line : int; c_assoc : int; c_latency : int }
+type policy =
+  | True_lru
+  | Fifo
+  | Tree_plru
+  | Qlru_h11_m1
+  | Qlru_h00_m0
+  | Mru_n
+
+type cache = {
+  c_size : int;
+  c_line : int;
+  c_assoc : int;
+  c_latency : int;
+  c_policy : policy;
+}
+
+let default_policy = True_lru
+
+let all_policies =
+  [ True_lru; Fifo; Tree_plru; Qlru_h11_m1; Qlru_h00_m0; Mru_n ]
+
+let policy_to_string = function
+  | True_lru -> "true_lru"
+  | Fifo -> "fifo"
+  | Tree_plru -> "tree_plru"
+  | Qlru_h11_m1 -> "qlru_h11_m1"
+  | Qlru_h00_m0 -> "qlru_h00_m0"
+  | Mru_n -> "mru_n"
+
+(* Short unambiguous code used inside structural fingerprints. *)
+let policy_tag = function
+  | True_lru -> "L"
+  | Fifo -> "F"
+  | Tree_plru -> "P"
+  | Qlru_h11_m1 -> "Q1"
+  | Qlru_h00_m0 -> "Q0"
+  | Mru_n -> "M"
+
+(* CPU-style preset names (CacheTrace's --cpu= switch): each maps a
+   microarchitecture to the replacement family reverse-engineered for
+   its L1/L2. *)
+let policy_presets =
+  [
+    ("core2", Tree_plru);
+    ("nehalem", Mru_n);
+    ("sandybridge", Mru_n);
+    ("haswell", Qlru_h11_m1);
+    ("skylake", Qlru_h11_m1);
+    ("coffeelake", Qlru_h00_m0);
+  ]
+
+let policy_of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let canon =
+    String.map (function '-' -> '_' | c -> c) s
+  in
+  match
+    List.find_opt (fun p -> policy_to_string p = canon) all_policies
+  with
+  | Some p -> Some p
+  | None -> List.assoc_opt canon policy_presets
 type sram = { s_size : int; s_latency : int }
 
 type stream_buffer = {
@@ -23,7 +83,9 @@ let validate_cache c =
   let lines = c.c_size / c.c_line in
   if lines mod c.c_assoc <> 0 then
     invalid_arg "cache lines not divisible by associativity";
-  if c.c_latency <= 0 then invalid_arg "cache latency must be positive"
+  if c.c_latency <= 0 then invalid_arg "cache latency must be positive";
+  if c.c_policy = Tree_plru && not (is_pow2 c.c_assoc) then
+    invalid_arg "tree-plru requires a power-of-two associativity"
 
 let validate_dram d =
   if d.d_banks <= 0 || not (is_pow2 d.d_banks) then
@@ -41,8 +103,15 @@ let validate_write_buffer w =
     invalid_arg "write buffer geometry must be positive"
 
 let pp_cache fmt c =
-  Format.fprintf fmt "cache(%dKB,%dB line,%d-way,%dcy)" (c.c_size / 1024)
-    c.c_line c.c_assoc c.c_latency
+  (* the default policy is left implicit so pre-policy output (labels,
+     logs, golden pins) is unchanged for existing designs *)
+  if c.c_policy = default_policy then
+    Format.fprintf fmt "cache(%dKB,%dB line,%d-way,%dcy)" (c.c_size / 1024)
+      c.c_line c.c_assoc c.c_latency
+  else
+    Format.fprintf fmt "cache(%dKB,%dB line,%d-way,%dcy,%s)" (c.c_size / 1024)
+      c.c_line c.c_assoc c.c_latency
+      (policy_to_string c.c_policy)
 
 let pp_sram fmt s =
   Format.fprintf fmt "sram(%dB,%dcy)" s.s_size s.s_latency

@@ -5,12 +5,47 @@
     in {!Module_lib} provide the standard catalogue explored by the
     paper-scale experiments. *)
 
+(** Replacement policy families (see {!Replacement} for semantics).
+    [True_lru] is the historical behaviour and the default; the others
+    are the reverse-engineered CPU families: FIFO, tree pseudo-LRU,
+    two quad-age LRU variants and bit-pseudo-LRU with new-block
+    insertion. *)
+type policy =
+  | True_lru
+  | Fifo
+  | Tree_plru
+  | Qlru_h11_m1
+  | Qlru_h00_m0
+  | Mru_n
+
 type cache = {
   c_size : int;  (** total data capacity in bytes; power of two *)
   c_line : int;  (** line size in bytes; power of two *)
   c_assoc : int;  (** associativity; [c_size / c_line] must be divisible *)
   c_latency : int;  (** hit latency, cycles *)
+  c_policy : policy;  (** victim-selection policy; [True_lru] by default *)
 }
+
+val default_policy : policy
+(** [True_lru]. *)
+
+val all_policies : policy list
+(** Every implemented policy, in a fixed presentation order. *)
+
+val policy_to_string : policy -> string
+(** Lower-case stable name, e.g. ["tree_plru"]. *)
+
+val policy_tag : policy -> string
+(** Short unambiguous code used inside structural fingerprints
+    (["L"], ["F"], ["P"], ["Q1"], ["Q0"], ["M"]). *)
+
+val policy_presets : (string * policy) list
+(** CPU-style preset names (["haswell"], ["skylake"], ...) mapping a
+    microarchitecture to its reverse-engineered replacement family. *)
+
+val policy_of_string : string -> policy option
+(** Parse a policy or preset name, case-insensitive, accepting ['-']
+    for ['_']. *)
 
 type sram = {
   s_size : int;  (** scratchpad capacity in bytes *)
@@ -54,7 +89,8 @@ type dram = {
 }
 
 val validate_cache : cache -> unit
-(** @raise Invalid_argument on a malformed geometry. *)
+(** @raise Invalid_argument on a malformed geometry (including a
+    [Tree_plru] policy with non-power-of-two associativity). *)
 
 val validate_dram : dram -> unit
 val validate_victim : victim -> unit

@@ -28,10 +28,10 @@ let with_global_metrics f =
     f
 
 let tiny_cache =
-  { Params.c_size = 1024; c_line = 16; c_assoc = 2; c_latency = 1 }
+  { Params.c_size = 1024; c_line = 16; c_assoc = 2; c_latency = 1; c_policy = Params.default_policy }
 
 let small_cache =
-  { Params.c_size = 4096; c_line = 32; c_assoc = 2; c_latency = 1 }
+  { Params.c_size = 4096; c_line = 32; c_assoc = 2; c_latency = 1; c_policy = Params.default_policy }
 
 let default_sbuf = List.hd Mx_mem.Module_lib.stream_buffers
 let default_lldma = List.hd Mx_mem.Module_lib.lldmas

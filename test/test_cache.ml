@@ -1,8 +1,12 @@
 module Cache = Mx_mem.Cache
 module Params = Mx_mem.Params
+module Replacement = Mx_mem.Replacement
 
-let mk ?(size = 1024) ?(line = 16) ?(assoc = 2) () =
-  Cache.create { Params.c_size = size; c_line = line; c_assoc = assoc; c_latency = 1 }
+let mk ?(size = 1024) ?(line = 16) ?(assoc = 2)
+    ?(policy = Params.default_policy) () =
+  Cache.create
+    { Params.c_size = size; c_line = line; c_assoc = assoc; c_latency = 1;
+      c_policy = policy }
 
 let test_cold_miss_then_hit () =
   let c = mk () in
@@ -107,7 +111,7 @@ let test_geometry_validation () =
            ignore
              (Cache.create
                 { Params.c_size = size; c_line = line; c_assoc = assoc;
-                  c_latency = 1 });
+                  c_latency = 1; c_policy = Params.default_policy });
            false
          with Invalid_argument _ -> true))
     [ (1000, 16, 2); (1024, 24, 2); (1024, 16, 0); (16, 32, 1) ]
@@ -122,6 +126,202 @@ let test_full_assoc_working_set () =
     List.iter (fun addr -> ignore (Cache.access c ~addr ~write:false)) addrs
   done;
   Helpers.check_int "no misses after warmup" before (Cache.misses c)
+
+(* -- victim tie-breaking (the contract documented in cache.mli) ------------ *)
+
+(* n addresses that all map to set 0 of the given geometry. *)
+let conflict_addrs ~size ~line ~assoc n =
+  let sets = size / line / assoc in
+  List.init n (fun i -> i * sets * line)
+
+(* global line number the cache reports for an eviction (line = 16) *)
+let line_of addr = addr / 16
+
+let test_invalid_ways_claimed_first () =
+  (* filling a 4-way set reports no eviction until every way is valid —
+     under every policy, because the cache claims invalid ways itself *)
+  List.iter
+    (fun policy ->
+      let c = mk ~size:1024 ~line:16 ~assoc:4 ~policy () in
+      List.iteri
+        (fun i addr ->
+          let r = Cache.access c ~addr ~write:false in
+          let name =
+            Printf.sprintf "%s: access %d" (Params.policy_to_string policy) i
+          in
+          if i < 4 then
+            Helpers.check_true (name ^ " claims an invalid way")
+              (r.Cache.evicted_line = None)
+          else
+            Helpers.check_true (name ^ " must evict")
+              (r.Cache.evicted_line <> None))
+        (conflict_addrs ~size:1024 ~line:16 ~assoc:4 5))
+    Params.all_policies
+
+let test_lru_eviction_order () =
+  (* invalid ways are claimed in ascending index order and true LRU then
+     evicts in fill order: A B C D fill, E evicts A, F evicts B *)
+  let c = mk ~size:1024 ~line:16 ~assoc:4 () in
+  match conflict_addrs ~size:1024 ~line:16 ~assoc:4 6 with
+  | [ a; b; cc; d; e; f ] ->
+    List.iter
+      (fun addr -> ignore (Cache.access c ~addr ~write:false))
+      [ a; b; cc; d ];
+    let r = Cache.access c ~addr:e ~write:false in
+    Helpers.check_true "first eviction is the first fill"
+      (r.Cache.evicted_line = Some (line_of a));
+    let r = Cache.access c ~addr:f ~write:false in
+    Helpers.check_true "second eviction is the second fill"
+      (r.Cache.evicted_line = Some (line_of b))
+  | _ -> assert false
+
+let test_replacement_equal_stamps_lowest_way () =
+  (* equal True_lru stamps (only possible before the set has filled, or
+     after reset) resolve to the lowest way index *)
+  let r = Replacement.create Params.True_lru ~ways:4 in
+  Helpers.check_int "fresh state: way 0" 0 (Replacement.victim r);
+  Replacement.fill r ~way:1;
+  Replacement.fill r ~way:2;
+  Replacement.fill r ~way:3;
+  Helpers.check_int "stamp-0 way 0 beats all stamped ways" 0
+    (Replacement.victim r);
+  Replacement.fill r ~way:0;
+  Replacement.touch r ~way:0;
+  Helpers.check_int "with way 0 fresh, the oldest fill (way 1) wins" 1
+    (Replacement.victim r);
+  Replacement.reset r;
+  Helpers.check_int "reset restores the all-equal tie" 0
+    (Replacement.victim r)
+
+(* -- per-policy behaviour (hand-checked sequences) ------------------------- *)
+
+let test_fifo_ignores_hits () =
+  (* FIFO evicts the oldest *fill* even if it was just touched *)
+  let addrs = conflict_addrs ~size:1024 ~line:16 ~assoc:2 3 in
+  match addrs with
+  | [ a; b; cc ] ->
+    let run policy =
+      let c = mk ~size:1024 ~line:16 ~assoc:2 ~policy () in
+      ignore (Cache.access c ~addr:a ~write:false);
+      ignore (Cache.access c ~addr:b ~write:false);
+      ignore (Cache.access c ~addr:a ~write:false);
+      (* touch a *)
+      (Cache.access c ~addr:cc ~write:false).Cache.evicted_line
+    in
+    Helpers.check_true "FIFO evicts the oldest fill despite the hit"
+      (run Params.Fifo = Some (line_of a));
+    Helpers.check_true "true LRU protects the touched line"
+      (run Params.True_lru = Some (line_of b))
+  | _ -> assert false
+
+let test_tree_plru_sequence () =
+  (* 4-way tree PLRU, hand-walked: in-order fills leave every direction
+     bit pointing left, so the fifth line evicts way 0; a hit on C then
+     flips the root left and the walk lands on way 1 *)
+  let c = mk ~size:1024 ~line:16 ~assoc:4 ~policy:Params.Tree_plru () in
+  match conflict_addrs ~size:1024 ~line:16 ~assoc:4 6 with
+  | [ a; b; cc; d; e; f ] ->
+    List.iter
+      (fun addr -> ignore (Cache.access c ~addr ~write:false))
+      [ a; b; cc; d ];
+    let r = Cache.access c ~addr:e ~write:false in
+    Helpers.check_true "walk after in-order fills evicts way 0"
+      (r.Cache.evicted_line = Some (line_of a));
+    Helpers.check_true "hit on resident line"
+      (Cache.access c ~addr:cc ~write:false).Cache.hit;
+    let r = Cache.access c ~addr:f ~write:false in
+    Helpers.check_true "flipped tree evicts way 1"
+      (r.Cache.evicted_line = Some (line_of b))
+  | _ -> assert false
+
+let test_tree_plru_requires_pow2_ways () =
+  List.iter
+    (fun ways ->
+      Helpers.check_true
+        (Printf.sprintf "tree PLRU rejects %d ways" ways)
+        (try
+           ignore (Replacement.create Params.Tree_plru ~ways);
+           false
+         with Invalid_argument _ -> true))
+    [ 3; 6; 12 ]
+
+let test_qlru_variants_diverge () =
+  (* fill A, hit A, fill B, insert C.  H11/M1: A re-ages to 0, B fills
+     at 1, so B is the oldest and is evicted.  H00/M0: everything sits
+     at age 0, normalisation ties, and way 0 (A) is evicted. *)
+  let addrs = conflict_addrs ~size:1024 ~line:16 ~assoc:2 3 in
+  match addrs with
+  | [ a; b; cc ] ->
+    let run policy =
+      let c = mk ~size:1024 ~line:16 ~assoc:2 ~policy () in
+      ignore (Cache.access c ~addr:a ~write:false);
+      ignore (Cache.access c ~addr:a ~write:false);
+      ignore (Cache.access c ~addr:b ~write:false);
+      (Cache.access c ~addr:cc ~write:false).Cache.evicted_line
+    in
+    Helpers.check_true "H11/M1 evicts the age-1 fill"
+      (run Params.Qlru_h11_m1 = Some (line_of b));
+    Helpers.check_true "H00/M0 ties and takes way 0"
+      (run Params.Qlru_h00_m0 = Some (line_of a))
+  | _ -> assert false
+
+let test_mru_n_does_not_protect_fills () =
+  (* 4-way MRU_N: fills leave the use bit clear, hits set it, and a hit
+     that would saturate clears everyone else.  After A B C D fill and
+     A B C D hit (the D hit saturates), E evicts A; E's own fill stays
+     unprotected so F immediately evicts E — unlike LRU, which would
+     evict B. *)
+  let c = mk ~size:1024 ~line:16 ~assoc:4 ~policy:Params.Mru_n () in
+  match conflict_addrs ~size:1024 ~line:16 ~assoc:4 6 with
+  | [ a; b; cc; d; e; f ] ->
+    List.iter
+      (fun addr -> ignore (Cache.access c ~addr ~write:false))
+      [ a; b; cc; d; a; b; cc; d ];
+    let r = Cache.access c ~addr:e ~write:false in
+    Helpers.check_true "saturating hit cleared the others: way 0 evicts"
+      (r.Cache.evicted_line = Some (line_of a));
+    let r = Cache.access c ~addr:f ~write:false in
+    Helpers.check_true "a fresh fill is not protected"
+      (r.Cache.evicted_line = Some (line_of e))
+  | _ -> assert false
+
+(* -- policy-aware state-bit and gate accounting ---------------------------- *)
+
+let test_state_bits_per_set () =
+  List.iter
+    (fun (policy, bits) ->
+      List.iter2
+        (fun ways want ->
+          Helpers.check_int
+            (Printf.sprintf "%s at %d ways"
+               (Params.policy_to_string policy) ways)
+            want
+            (Replacement.state_bits_per_set policy ~ways))
+        [ 2; 4; 8 ] bits)
+    [
+      (Params.True_lru, [ 2; 8; 24 ]);
+      (Params.Fifo, [ 1; 2; 3 ]);
+      (Params.Tree_plru, [ 1; 3; 7 ]);
+      (Params.Qlru_h11_m1, [ 4; 8; 16 ]);
+      (Params.Qlru_h00_m0, [ 4; 8; 16 ]);
+      (Params.Mru_n, [ 2; 4; 8 ]);
+    ]
+
+let test_cost_model_policy_aware () =
+  let geo policy =
+    { Params.c_size = 2048; c_line = 32; c_assoc = 8; c_latency = 1;
+      c_policy = policy }
+  in
+  let cost p = Mx_mem.Cost_model.cache (geo p) in
+  let lru = cost Params.True_lru in
+  Helpers.check_true "tree PLRU is cheaper than true LRU"
+    (cost Params.Tree_plru < lru);
+  Helpers.check_true "FIFO is cheaper than true LRU"
+    (cost Params.Fifo < lru);
+  Helpers.check_true "MRU_N is cheaper than true LRU"
+    (cost Params.Mru_n < lru);
+  Helpers.check_int "the two QLRU variants store the same bits"
+    (cost Params.Qlru_h11_m1) (cost Params.Qlru_h00_m0)
 
 let qcheck_hit_ratio_bounds =
   QCheck.Test.make ~name:"cache miss count never exceeds access count"
@@ -157,6 +357,23 @@ let suite =
       Alcotest.test_case "associativity" `Quick test_higher_assoc_no_conflicts;
       Alcotest.test_case "geometry validation" `Quick test_geometry_validation;
       Alcotest.test_case "resident set" `Quick test_full_assoc_working_set;
+      Alcotest.test_case "invalid ways claimed first" `Quick
+        test_invalid_ways_claimed_first;
+      Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
+      Alcotest.test_case "equal stamps break to lowest way" `Quick
+        test_replacement_equal_stamps_lowest_way;
+      Alcotest.test_case "FIFO ignores hits" `Quick test_fifo_ignores_hits;
+      Alcotest.test_case "tree PLRU sequence" `Quick test_tree_plru_sequence;
+      Alcotest.test_case "tree PLRU needs pow2 ways" `Quick
+        test_tree_plru_requires_pow2_ways;
+      Alcotest.test_case "QLRU variants diverge" `Quick
+        test_qlru_variants_diverge;
+      Alcotest.test_case "MRU_N leaves fills unprotected" `Quick
+        test_mru_n_does_not_protect_fills;
+      Alcotest.test_case "replacement state bits" `Quick
+        test_state_bits_per_set;
+      Alcotest.test_case "cost model policy-aware" `Quick
+        test_cost_model_policy_aware;
       QCheck_alcotest.to_alcotest qcheck_hit_ratio_bounds;
       QCheck_alcotest.to_alcotest qcheck_repeat_access_hits;
     ] )

@@ -48,6 +48,28 @@ let test_selftest_shrinks () =
            (Runner.repro ~suite:"selftest" f))
     | fs -> Alcotest.failf "expected one failure, got %d" (List.length fs))
 
+let test_replacement_selftest_fails () =
+  (* the hidden broken-oracle suite (true-LRU cache vs a promotion-blind
+     FIFO oracle) must be caught by the differential harness, shrink,
+     and print a usable reproduction line — the end-to-end proof that a
+     broken policy cannot slip through the replacement suite *)
+  match Suites.find "replacement-selftest" with
+  | None -> Alcotest.fail "replacement-selftest suite is not resolvable"
+  | Some props -> (
+    let r = Runner.run_suite ~master:42 ~count:50 ("replacement-selftest", props) in
+    match r.Runner.failures with
+    | [ f ] ->
+      Helpers.check_true "divergence message names both sides"
+        (Test_metrics.contains ~needle:"cache" f.Runner.message
+        && Test_metrics.contains ~needle:"oracle" f.Runner.message);
+      Helpers.check_true "counterexample was shrunk"
+        (f.Runner.shrunk_from >= f.Runner.size);
+      Helpers.check_true "repro line carries the seed"
+        (Test_metrics.contains
+           ~needle:(Printf.sprintf "CONEX_CHECK_SEED=%d" f.Runner.seed)
+           (Runner.repro ~suite:"replacement-selftest" f))
+    | fs -> Alcotest.failf "expected one failure, got %d" (List.length fs))
+
 let test_runner_deterministic () =
   match Suites.find "stats" with
   | None -> Alcotest.fail "stats suite missing"
@@ -198,6 +220,8 @@ let suite =
     [
       Alcotest.test_case "selftest shrinks to size 2" `Quick
         test_selftest_shrinks;
+      Alcotest.test_case "replacement selftest caught" `Quick
+        test_replacement_selftest_fails;
       Alcotest.test_case "runner deterministic" `Quick
         test_runner_deterministic;
       Alcotest.test_case "case_seed pure" `Quick test_case_seed_pure;

@@ -72,6 +72,22 @@ let test_bad_scenario_kind () =
   check_exit "unknown scenario kind" 2 r;
   check_no_internal_error r
 
+let test_bad_policy () =
+  let ((_, _, err) as r) =
+    run_conex ([ "explore"; "-w"; "mixed"; "--policies"; "nosuch" ] @ fast)
+  in
+  check_exit "unknown policy name" 2 r;
+  Helpers.check_true "stderr names the bad policy"
+    (Test_metrics.contains ~needle:"nosuch" err);
+  check_no_internal_error r
+
+let test_policies_explore_ok () =
+  let r =
+    run_conex
+      ([ "explore"; "-w"; "mixed"; "--policies"; "true_lru,haswell" ] @ fast)
+  in
+  check_exit "explore with a policy list" 0 r
+
 let test_missing_trace_file () =
   let ((_, _, err) as r) =
     run_conex [ "explore"; "--trace"; "/nonexistent/conex-test.trace" ]
@@ -304,6 +320,9 @@ let suite =
         test_bad_scenario;
       Alcotest.test_case "bad scenario kind exits 2" `Quick
         test_bad_scenario_kind;
+      Alcotest.test_case "unknown policy exits 2" `Quick test_bad_policy;
+      Alcotest.test_case "--policies explore exits 0" `Slow
+        test_policies_explore_ok;
       Alcotest.test_case "missing trace exits 1" `Quick
         test_missing_trace_file;
       Alcotest.test_case "select missing csv exits 1" `Quick

@@ -275,7 +275,7 @@ let test_conn_cost_small_vs_memory () =
   Helpers.check_true "connectivity << 32KB cache"
     (Conn_cost.cost_gates ahb ~channels:8 * 10
     < Mx_mem.Cost_model.cache
-        { Mx_mem.Params.c_size = 32768; c_line = 32; c_assoc = 2; c_latency = 2 })
+        { Mx_mem.Params.c_size = 32768; c_line = 32; c_assoc = 2; c_latency = 2; c_policy = Mx_mem.Params.default_policy })
 
 let test_offchip_energy_premium () =
   Helpers.check_true "off-chip beats cost the most"

@@ -108,6 +108,25 @@ let test_mem_fingerprint_sensitivity () =
         (Mem_arch.fingerprint arch <> fp))
     variants
 
+let test_mem_fingerprint_policy_distinct () =
+  (* replacement policy is design identity: every policy yields its own
+     fingerprint on an otherwise identical architecture *)
+  let fp policy =
+    Mem_arch.fingerprint
+      (Mem_arch.make ~label:"p"
+         ~cache:{ Helpers.small_cache with Params.c_policy = policy }
+         ~sbuf:Helpers.default_sbuf ~lldma:Helpers.default_lldma
+         ~sram:{ Params.s_size = 4096; s_latency = 1 }
+         ~bindings:
+           [| Mem_arch.To_cache; Mem_arch.To_sbuf; Mem_arch.To_lldma;
+              Mem_arch.To_sram |]
+         ())
+  in
+  let fps = List.map fp Params.all_policies in
+  Helpers.check_int "one fingerprint per policy"
+    (List.length Params.all_policies)
+    (List.length (List.sort_uniq compare fps))
+
 (* -- connectivity fingerprints --------------------------------------------- *)
 
 let conn_pairs () =
@@ -287,6 +306,40 @@ let test_eval_distinct_sample_windows_distinct () =
   Helpers.check_int "different windows are different entries" 2
     (s1.Mx_util.Memo_cache.misses - s0.Mx_util.Memo_cache.misses)
 
+let test_eval_policy_keyed_separately () =
+  (* designs differing only in replacement policy must land in distinct
+     memo entries: no stale cross-policy cache hits *)
+  with_pristine_cache @@ fun () ->
+  let w = Helpers.mixed_workload ~scale:4000 () in
+  let arch_of policy =
+    Helpers.cache_only_arch
+      ~cache:
+        { Helpers.small_cache with Params.c_assoc = 4; c_policy = policy }
+      w
+  in
+  let arch_lru = arch_of Params.True_lru
+  and arch_fifo = arch_of Params.Fifo in
+  let profile = Helpers.profile_of arch_lru w in
+  let brg = Mx_connect.Brg.build arch_lru profile in
+  let conn = Helpers.naive_conn brg in
+  let s0 = Eval.cache_stats () in
+  let r1 = Eval.eval ~fidelity:Eval.Exact ~workload:w ~arch:arch_lru ~conn () in
+  let r2 = Eval.eval ~fidelity:Eval.Exact ~workload:w ~arch:arch_fifo ~conn () in
+  let s1 = Eval.cache_stats () in
+  Helpers.check_int "two policies, two entries" 2
+    (s1.Mx_util.Memo_cache.misses - s0.Mx_util.Memo_cache.misses);
+  Helpers.check_int "no cross-policy hit" 0
+    (s1.Mx_util.Memo_cache.hits - s0.Mx_util.Memo_cache.hits);
+  let r1' = Eval.eval ~fidelity:Eval.Exact ~workload:w ~arch:arch_lru ~conn ()
+  and r2' =
+    Eval.eval ~fidelity:Eval.Exact ~workload:w ~arch:arch_fifo ~conn ()
+  in
+  let s2 = Eval.cache_stats () in
+  Helpers.check_int "warm lookups hit per policy" 2
+    (s2.Mx_util.Memo_cache.hits - s1.Mx_util.Memo_cache.hits);
+  Helpers.check_true "each policy is served its own result"
+    (r1 = r1' && r2 = r2')
+
 (* -- cached vs fresh whole explorations ------------------------------------ *)
 
 let small_config jobs =
@@ -354,6 +407,8 @@ let suite =
         test_mem_fingerprint_ignores_label;
       Alcotest.test_case "mem fingerprint sensitivity" `Quick
         test_mem_fingerprint_sensitivity;
+      Alcotest.test_case "mem fingerprint per policy" `Quick
+        test_mem_fingerprint_policy_distinct;
       Alcotest.test_case "conn fingerprint order-insensitive" `Quick
         test_conn_fingerprint_order_insensitive;
       Alcotest.test_case "conn fingerprint component-sensitive" `Quick
@@ -380,6 +435,8 @@ let suite =
         test_eval_estimate_requires_profile;
       Alcotest.test_case "sample windows keyed separately" `Quick
         test_eval_distinct_sample_windows_distinct;
+      Alcotest.test_case "policies keyed separately" `Quick
+        test_eval_policy_keyed_separately;
       Alcotest.test_case "exploration cache-transparent" `Slow
         test_explore_cache_transparent;
     ] )

@@ -92,7 +92,7 @@ let test_victim_reduces_conflict_misses () =
     [ { Region.id = 0; name = "a"; base = 0; size = 1 lsl 20; elem_size = 4;
         hint = Region.Random_access } ]
   in
-  let cache = { Params.c_size = 1024; c_line = 16; c_assoc = 1; c_latency = 1 } in
+  let cache = { Params.c_size = 1024; c_line = 16; c_assoc = 1; c_latency = 1; c_policy = Params.default_policy } in
   let bindings = [| Mem_arch.To_cache |] in
   let plain = Mem_arch.make ~label:"plain" ~cache ~bindings () in
   let with_v =

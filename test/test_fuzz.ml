@@ -13,5 +13,5 @@ let suite =
   ( "fuzz",
     [
       case "trace"; case "fingerprint"; case ~count:100 "sim";
-      case ~count:100 "eval"; case "pipeline";
+      case ~count:100 "eval"; case "pipeline"; case ~count:100 "replacement";
     ] )

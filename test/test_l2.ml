@@ -7,8 +7,8 @@ module Mem_sim = Mx_mem.Mem_sim
 module Brg = Mx_connect.Brg
 module Channel = Mx_connect.Channel
 
-let l1 = { Params.c_size = 2048; c_line = 32; c_assoc = 2; c_latency = 1 }
-let l2p = { Params.c_size = 16384; c_line = 64; c_assoc = 4; c_latency = 4 }
+let l1 = { Params.c_size = 2048; c_line = 32; c_assoc = 2; c_latency = 1; c_policy = Params.default_policy }
+let l2p = { Params.c_size = 16384; c_line = 64; c_assoc = 4; c_latency = 4; c_policy = Params.default_policy }
 
 let with_l2 w =
   Mem_arch.make ~label:"l1+l2" ~cache:l1 ~l2:l2p
@@ -154,7 +154,7 @@ let test_apex_explores_l2 () =
 let test_apex_l2_size_filter () =
   (* an L2 smaller than the cache must not be offered *)
   let p = Mx_trace.Profile.analyze (Helpers.mixed_workload ~scale:2000 ()) in
-  let big_l1 = { Params.c_size = 32768; c_line = 32; c_assoc = 2; c_latency = 2 } in
+  let big_l1 = { Params.c_size = 32768; c_line = 32; c_assoc = 2; c_latency = 2; c_policy = Params.default_policy } in
   let config =
     {
       Mx_apex.Explore.reduced_config with

@@ -156,7 +156,7 @@ let test_dram_counters_and_reset () =
 (* -- cost model -------------------------------------------------------- *)
 
 let test_cache_cost_monotone_in_size () =
-  let base = { Params.c_size = 8192; c_line = 32; c_assoc = 2; c_latency = 1 } in
+  let base = { Params.c_size = 8192; c_line = 32; c_assoc = 2; c_latency = 1; c_policy = Params.default_policy } in
   let c1 = Cost.cache base
   and c2 = Cost.cache { base with Params.c_size = 16384 } in
   Helpers.check_true "bigger cache costs more" (c2 > c1);
@@ -165,13 +165,13 @@ let test_cache_cost_monotone_in_size () =
 let test_cache_cost_calibration () =
   (* the 32KB cache should land near the paper's ~0.48M gate baseline *)
   let c =
-    Cost.cache { Params.c_size = 32768; c_line = 32; c_assoc = 2; c_latency = 2 }
+    Cost.cache { Params.c_size = 32768; c_line = 32; c_assoc = 2; c_latency = 2; c_policy = Params.default_policy }
   in
   Helpers.check_true "32KB cache ~ 0.4-0.6M gates" (c > 400_000 && c < 600_000)
 
 let test_sram_cheaper_than_cache () =
   let cache =
-    Cost.cache { Params.c_size = 8192; c_line = 32; c_assoc = 2; c_latency = 1 }
+    Cost.cache { Params.c_size = 8192; c_line = 32; c_assoc = 2; c_latency = 1; c_policy = Params.default_policy }
   and sram = Cost.sram { Params.s_size = 8192; s_latency = 1 } in
   Helpers.check_true "no tags -> cheaper" (sram < cache)
 
@@ -186,23 +186,23 @@ let test_small_module_costs () =
 let test_energy_positive_and_ordered () =
   let small =
     Energy.cache_access
-      { Params.c_size = 4096; c_line = 32; c_assoc = 2; c_latency = 1 }
+      { Params.c_size = 4096; c_line = 32; c_assoc = 2; c_latency = 1; c_policy = Params.default_policy }
       ~write:false
   and big =
     Energy.cache_access
-      { Params.c_size = 65536; c_line = 32; c_assoc = 2; c_latency = 1 }
+      { Params.c_size = 65536; c_line = 32; c_assoc = 2; c_latency = 1; c_policy = Params.default_policy }
       ~write:false
   in
   Helpers.check_true "positive" (small > 0.0);
   Helpers.check_true "bigger array costs more energy" (big > small)
 
 let test_write_energy_premium () =
-  let p = { Params.c_size = 4096; c_line = 32; c_assoc = 2; c_latency = 1 } in
+  let p = { Params.c_size = 4096; c_line = 32; c_assoc = 2; c_latency = 1; c_policy = Params.default_policy } in
   Helpers.check_true "writes cost more"
     (Energy.cache_access p ~write:true > Energy.cache_access p ~write:false)
 
 let test_dram_dominates_onchip () =
-  let p = { Params.c_size = 65536; c_line = 32; c_assoc = 2; c_latency = 1 } in
+  let p = { Params.c_size = 65536; c_line = 32; c_assoc = 2; c_latency = 1; c_policy = Params.default_policy } in
   Helpers.check_true "off-chip access dwarfs on-chip"
     (Energy.dram_access ~bytes:32 > 20.0 *. Energy.cache_access p ~write:false)
 
