@@ -313,6 +313,9 @@ let table2_config =
     sample = None;
     refine_top = 0;
     jobs = 1;
+    shards = 1;
+    archive_eps = 0.0;
+    archive_capacity = None;
   }
 
 let table2 () =
@@ -647,6 +650,109 @@ let check_harness () =
     ~n_simulations:0;
   print_newline ()
 
+(* -- sharded exploration: scaling, byte-stability, anytime validity ------- *)
+
+let shard_summary (r : Explore.result) =
+  ( r.Explore.n_estimates,
+    r.Explore.n_simulations,
+    List.map
+      (fun d ->
+        (Design.structural_key d, Design.cost d, Design.latency d,
+         Design.energy d))
+      r.Explore.simulated,
+    List.map Design.structural_key r.Explore.pareto_cost_perf )
+
+let shard () =
+  print_endline "==================================================================";
+  print_endline "Sharded exploration -- shard scaling, byte-stability, anytime front";
+  print_endline
+    "  the shard work-queue must be invisible in the results (same designs,";
+  print_endline
+    "  same order, same front at every shards x jobs point) and the anytime";
+  print_endline
+    "  archive must emit a valid front when the run is interrupted mid-way";
+  print_endline "==================================================================";
+  let w = Mx_trace.Kern_compress.generate ~scale:table2_scale ~seed:7 in
+  let config ~shards ~jobs =
+    { Explore.reduced_config with Explore.jobs; shards }
+  in
+  (* shard-count scaling at the full jobs level *)
+  let reference = ref None in
+  List.iter
+    (fun shards ->
+      Mx_sim.Eval.clear_cache ();
+      let t0 = Unix.gettimeofday () in
+      let r = Explore.run ~config:(config ~shards ~jobs:!jobs) w in
+      let wall = Unix.gettimeofday () -. t0 in
+      Printf.printf "  shards=%-3d jobs=%-2d  %6.2fs  %4d est  %3d sim  %2d pareto\n"
+        shards !jobs wall r.Explore.n_estimates r.Explore.n_simulations
+        (List.length r.Explore.pareto_cost_perf);
+      Json_out.record_experiment
+        ~name:(Printf.sprintf "shard:shards=%d,jobs=%d" shards !jobs)
+        ~wall_seconds:wall ~n_estimates:r.Explore.n_estimates
+        ~n_simulations:r.Explore.n_simulations;
+      match !reference with
+      | None -> reference := Some (shard_summary r)
+      | Some b ->
+        check
+          (Printf.sprintf "shards=%d results byte-identical to shards=1"
+             shards)
+          (shard_summary r = b))
+    [ 1; 2; 4; 8 ];
+  (* byte-stability across the shards x jobs grid *)
+  List.iter
+    (fun (shards, jobs) ->
+      Mx_sim.Eval.clear_cache ();
+      let r = Explore.run ~config:(config ~shards ~jobs) w in
+      check
+        (Printf.sprintf "shards=%d jobs=%d byte-stable" shards jobs)
+        (Some (shard_summary r) = !reference))
+    [ (1, 1); (4, 1); (4, 2) ];
+  (* anytime validity: interrupt half-way through the committed work and
+     the emitted front must still be a pareto front of exactly the
+     committed prefix *)
+  Mx_sim.Eval.clear_cache ();
+  let total_polls = ref 0 in
+  let count_only () =
+    incr total_polls;
+    false
+  in
+  let full =
+    Explore.run ~config:(config ~shards:4 ~jobs:!jobs) ~interrupt:count_only w
+  in
+  (* aim the interrupt mid phase II so the committed prefix holds real
+     simulations, not just drained phase-I shards *)
+  let budget = !total_polls - ((full.Explore.n_simulations + 1) / 2) in
+  Mx_sim.Eval.clear_cache ();
+  let polls = ref 0 in
+  let interrupt () =
+    incr polls;
+    !polls > budget
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Explore.run ~config:(config ~shards:4 ~jobs:!jobs) ~interrupt w in
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "  interrupted after %d of %d polls: %d of %d simulations committed, %d \
+     pareto (%.2fs)\n"
+    budget !total_polls r.Explore.n_simulations full.Explore.n_simulations
+    (List.length r.Explore.pareto_cost_perf)
+    wall;
+  check "interrupting mid-run reports interrupted" r.Explore.interrupted;
+  check "anytime front = pareto front of the committed prefix"
+    (List.map Design.structural_key r.Explore.pareto_cost_perf
+    = List.map Design.structural_key
+        (Mx_util.Pareto.front2 ~x:Design.cost ~y:Design.latency
+           r.Explore.simulated));
+  check "committed simulations are a prefix of the full run's"
+    (let keys = List.map Design.structural_key r.Explore.simulated in
+     let full_keys = List.map Design.structural_key full.Explore.simulated in
+     List.length keys <= List.length full_keys
+     && keys = List.filteri (fun i _ -> i < List.length keys) full_keys);
+  Json_out.record_experiment ~name:"shard:anytime" ~wall_seconds:wall
+    ~n_estimates:r.Explore.n_estimates ~n_simulations:r.Explore.n_simulations;
+  print_newline ()
+
 let all () =
   fig3 ();
   fig4 ();
@@ -656,4 +762,5 @@ let all () =
   cache ();
   events ();
   replacement ();
+  shard ();
   check_harness ()

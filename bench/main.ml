@@ -11,7 +11,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [fig3|fig4|fig6|table1|table2|cache|events|replacement|check|trace|ablation|micro|scaling|all]\n\
+     [fig3|fig4|fig6|table1|table2|cache|events|replacement|shard|check|trace|ablation|micro|scaling|all]\n\
     \       [--jobs N] [--json PATH]";
   exit 2
 
@@ -45,6 +45,7 @@ let () =
   | "cache" -> Experiments.cache ()
   | "events" -> Experiments.events ()
   | "replacement" -> Experiments.replacement ()
+  | "shard" -> Experiments.shard ()
   | "check" -> Experiments.check_harness ()
   | "trace" -> Trace_bench.run ()
   | "ablation" -> Ablation.all ()

@@ -112,12 +112,22 @@ let cache_size_arg =
     & opt int Mx_sim.Eval.default_cache_capacity
     & info [ "cache-size" ] ~docv:"N" ~doc)
 
-let config_of_reduced reduced jobs =
+let shards_arg =
+  let doc =
+    "Number of prefix-shards each clustering level is split into for the \
+     Phase I work-queue.  The design stream and the pareto front are \
+     byte-identical at every value; more shards give the parallel queue \
+     finer grains to balance."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let config_of_reduced ?(shards = 1) reduced jobs =
+  if shards <= 0 then die_usage "--shards must be positive (got %d)" shards;
   let base =
     if reduced then Conex.Explore.reduced_config
     else Conex.Explore.default_config
   in
-  { base with Conex.Explore.jobs = max 1 jobs }
+  { base with Conex.Explore.jobs = max 1 jobs; shards }
 
 (* -- observability ----------------------------------------------------- *)
 
@@ -369,26 +379,44 @@ let config_with_policies config = function
     }
 
 let explore_cmd =
-  let run name scale seed reduced jobs cache_size policies scenario plot
-      trace_in csv bus_report metrics trace_out events_out chrome_out =
+  let run name scale seed reduced jobs shards cache_size policies scenario
+      plot trace_in csv front_out bus_report metrics trace_out events_out
+      chrome_out =
     (* validate cheap inputs before hours of exploration *)
     let scenario = Option.map parse_scenario scenario in
     let policies = Option.map parse_policies policies in
     if trace_in = None then check_workload_name name;
-    List.iter validate_out_path [ csv; trace_out; events_out; chrome_out ];
+    List.iter validate_out_path
+      [ csv; front_out; trace_out; events_out; chrome_out ];
     let w = resolve_workload name scale seed trace_in in
     Mx_sim.Eval.set_cache_capacity cache_size;
     metrics_begin metrics trace_out chrome_out;
     events_begin events_out chrome_out;
     let config =
-      config_with_policies (config_of_reduced reduced jobs) policies
+      config_with_policies (config_of_reduced ~shards reduced jobs) policies
     in
-    let r = Conex.Explore.run ~config w in
+    (* anytime mode: with --front-out, SIGINT asks the run to stop at
+       the next commit boundary instead of killing the process — the
+       front that comes back (and is written below) is a valid pareto
+       front of exactly the work committed so far *)
+    let interrupt =
+      match front_out with
+      | None -> None
+      | Some _ ->
+        let hit = Atomic.make false in
+        Sys.set_signal Sys.sigint
+          (Sys.Signal_handle (fun _ -> Atomic.set hit true));
+        Some (fun () -> Atomic.get hit)
+    in
+    let r = Conex.Explore.run ~config ?interrupt w in
     Printf.printf
-      "%s: %d estimates -> %d simulations -> %d pareto designs (%.1fs)\n\n"
+      "%s: %d estimates -> %d simulations -> %d pareto designs (%.1fs)%s\n\n"
       name r.Conex.Explore.n_estimates r.Conex.Explore.n_simulations
       (List.length r.Conex.Explore.pareto_cost_perf)
-      r.Conex.Explore.wall_seconds;
+      r.Conex.Explore.wall_seconds
+      (if r.Conex.Explore.interrupted then
+         " [interrupted: committed prefix only]"
+       else "");
     if plot then
       print_string
         (Conex.Report.ascii_scatter ~x:Conex.Design.cost ~y:Conex.Design.latency
@@ -409,6 +437,16 @@ let explore_cmd =
           (List.length r.Conex.Explore.simulated)
           path)
       csv;
+    Option.iter
+      (fun path ->
+        Conex.Report.save_csv r.Conex.Explore.pareto_cost_perf ~path;
+        Printf.printf "\n%d pareto designs exported to %s%s\n"
+          (List.length r.Conex.Explore.pareto_cost_perf)
+          path
+          (if r.Conex.Explore.interrupted then
+             " (anytime front of the committed prefix)"
+           else ""))
+      front_out;
     if bus_report then begin
       match List.rev r.Conex.Explore.pareto_cost_perf with
       | [] -> ()
@@ -453,6 +491,17 @@ let explore_cmd =
       & info [ "csv" ] ~docv:"FILE"
           ~doc:"Export all simulated designs as CSV.")
   in
+  let front_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "front-out" ] ~docv:"FILE"
+          ~doc:
+            "Export the cost/performance pareto front as CSV, and make the \
+             run $(i,anytime): SIGINT stops the exploration at the next \
+             commit boundary instead of killing it, and the exported front \
+             is a valid pareto front of exactly the work committed so far.")
+  in
   let bus_report_arg =
     Arg.(
       value & flag
@@ -478,9 +527,9 @@ let explore_cmd =
     (Cmd.info "explore" ~doc:"Full two-phase ConEx exploration")
     Term.(
       const run $ workload_arg $ scale_arg $ seed_arg $ reduced_arg $ jobs_arg
-      $ cache_size_arg $ policies_arg $ scenario_arg $ plot_arg $ trace_in_arg
-      $ csv_arg $ bus_report_arg $ metrics_arg $ trace_out_arg
-      $ events_out_arg $ chrome_out_arg)
+      $ shards_arg $ cache_size_arg $ policies_arg $ scenario_arg $ plot_arg
+      $ trace_in_arg $ csv_arg $ front_out_arg $ bus_report_arg $ metrics_arg
+      $ trace_out_arg $ events_out_arg $ chrome_out_arg)
 
 (* -- select: re-select from a saved CSV ---------------------------------- *)
 
@@ -543,16 +592,25 @@ let select_cmd =
 (* -- strategies ---------------------------------------------------------- *)
 
 let strategies_cmd =
-  let run name scale seed jobs cache_size metrics trace_out events_out
-      chrome_out =
+  let run name scale seed jobs shards full_budget cache_size metrics trace_out
+      events_out chrome_out =
     check_workload_name name;
+    if full_budget <= 0 then
+      die_usage "--full-budget must be positive (got %d)" full_budget;
     List.iter validate_out_path [ trace_out; events_out; chrome_out ];
     let w = make_workload name ~scale ~seed in
     Mx_sim.Eval.set_cache_capacity cache_size;
     metrics_begin metrics trace_out chrome_out;
     events_begin events_out chrome_out;
-    let config = config_of_reduced true jobs in
-    let full = Conex.Strategy.run ~config Conex.Strategy.Full w in
+    let config = config_of_reduced ~shards true jobs in
+    let full =
+      try Conex.Strategy.run ~config ~full_budget Conex.Strategy.Full w
+      with Conex.Strategy.Full_infeasible { projected_sims; budget } ->
+        die_usage
+          "full strategy infeasible: %d projected simulations exceed the \
+           budget of %d (raise --full-budget or shrink the catalogue)"
+          projected_sims budget
+    in
     List.iter
       (fun kind ->
         let o = Conex.Strategy.run ~config kind w in
@@ -564,13 +622,21 @@ let strategies_cmd =
     events_end events_out chrome_out;
     metrics_end metrics trace_out chrome_out
   in
+  let full_budget_arg =
+    let doc =
+      "Simulation budget for the Full strategy: the run aborts (exit 2, \
+       before any simulation) when the projected number of full simulations \
+       exceeds $(docv)."
+    in
+    Arg.(value & opt int 300_000 & info [ "full-budget" ] ~docv:"N" ~doc)
+  in
   Cmd.v
     (Cmd.info "strategies"
        ~doc:"Compare Pruned / Neighborhood / Full exploration strategies")
     Term.(
-      const run $ workload_arg $ scale_arg $ seed_arg $ jobs_arg
-      $ cache_size_arg $ metrics_arg $ trace_out_arg $ events_out_arg
-      $ chrome_out_arg)
+      const run $ workload_arg $ scale_arg $ seed_arg $ jobs_arg $ shards_arg
+      $ full_budget_arg $ cache_size_arg $ metrics_arg $ trace_out_arg
+      $ events_out_arg $ chrome_out_arg)
 
 (* -- explain: funnel reconstruction from a saved event log --------------- *)
 

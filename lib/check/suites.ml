@@ -950,6 +950,233 @@ let explore_suite ~jobs =
               ]));
   ]
 
+(* -- shard ---------------------------------------------------------------- *)
+
+(* The sharded work-queue must be invisible in the results: same
+   designs, same order, same front, whatever the shard count or jobs
+   level — and the anytime archive must agree with the collect-then-
+   filter front it replaced. *)
+
+module Shard = Conex.Shard
+
+let shard_config ~shards ~jobs = { (small_config ~jobs) with Explore.shards }
+
+let shard_onchip =
+  lazy
+    [ Component.by_name "ded32"; Component.by_name "mux32";
+      Component.by_name "apb32"; Component.by_name "ahb32" ]
+
+let shard_offchip = lazy [ Component.by_name "off32" ]
+
+(* One planned shard queue (plus the context needed to resolve it)
+   for a generated pipeline. *)
+let shard_plan_of_pipeline g (p : Gen.pipeline) =
+  let levels =
+    Mx_connect.Cluster.levels_ordered Mx_connect.Cluster.Lowest_bandwidth_first
+      p.Gen.p_brg.Brg.channels
+  in
+  let cap = 1 + Prng.int g ~bound:48 in
+  let k = 1 + Prng.int g ~bound:8 in
+  let onchip = Lazy.force shard_onchip and offchip = Lazy.force shard_offchip in
+  let workload_fp = Mx_trace.Workload.fingerprint p.Gen.p_workload in
+  let arch_fp = Mem_arch.fingerprint p.Gen.p_arch in
+  let arch_label = p.Gen.p_arch.Mem_arch.label in
+  let shards =
+    Shard.plan ~shards:k ~max_designs_per_level:cap ~workload_fp ~arch_label
+      ~arch_fp ~onchip ~offchip levels
+  in
+  (shards, `Ctx (workload_fp, arch_label, arch_fp, onchip, offchip, levels, cap))
+
+let dedup_by_describe conns =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun c ->
+      let key = Conn_arch.describe c in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    conns
+
+let shard_suite ~jobs =
+  let x (p : float array) = p.(0) and y (p : float array) = p.(1) in
+  let axes2 = [ x; y ] in
+  [
+    R.prop ~cost:80 ~max_size:2
+      "sharded and monolithic explorations agree (shards x jobs)"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let w = Gen.workload g ~size in
+        with_default_cache (fun () ->
+            (* cache off so no arm is served results computed by another *)
+            Eval.set_cache_capacity 0;
+            let base =
+              Explore.run ~config:(shard_config ~shards:1 ~jobs:1) w
+            in
+            R.all_of
+              (List.map
+                 (fun (shards, jobs) ->
+                   let r = Explore.run ~config:(shard_config ~shards ~jobs) w in
+                   R.check
+                     (run_summary r = run_summary base)
+                     "shards=%d jobs=%d diverges from the monolithic run"
+                     shards jobs)
+                 [ (4, 1); (1, max 2 jobs); (4, max 2 jobs) ])));
+    R.prop ~cost:10 "shard plan concatenation = monolithic enumeration"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let p = Gen.pipeline g ~size in
+        let shards, `Ctx (_, _, _, onchip, offchip, _, cap) =
+          shard_plan_of_pipeline g p
+        in
+        let mono =
+          Assign.enumerate_levels ~max_designs_per_level:cap ~onchip ~offchip
+            p.Gen.p_brg.Brg.channels
+        in
+        let merged =
+          dedup_by_describe (List.concat_map Shard.enumerate shards)
+        in
+        R.check
+          (List.map Conn_arch.describe merged
+          = List.map Conn_arch.describe mono)
+          "merged shard slices (%d shards, cap %d) differ from the \
+           monolithic stream (%d vs %d designs)"
+          (List.length shards) cap (List.length merged) (List.length mono));
+    R.prop ~cost:10 "shard descriptors survive the wire format and resolve"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let p = Gen.pipeline g ~size in
+        let shards, `Ctx (workload_fp, arch_label, arch_fp, onchip, offchip,
+                          levels, _) =
+          shard_plan_of_pipeline g p
+        in
+        R.all_of
+          (List.map
+             (fun r ->
+               let d = Shard.descriptor r in
+               match Shard.of_line (Shard.to_line d) with
+               | Error e -> R.failf "of_line rejected a planned shard: %s" e
+               | Ok d' ->
+                 if d' <> d then
+                   R.failf "wire round-trip changed %s into %s"
+                     (Shard.fingerprint d) (Shard.fingerprint d')
+                 else (
+                   match
+                     Shard.resolve ~workload_fp ~arch_label ~arch_fp ~onchip
+                       ~offchip ~levels d'
+                   with
+                   | Error e -> R.failf "resolve failed: %s" e
+                   | Ok r' ->
+                     R.check
+                       (List.map Conn_arch.describe (Shard.enumerate r')
+                       = List.map Conn_arch.describe (Shard.enumerate r))
+                       "a resolved shard enumerates a different slice (%s)"
+                       (Shard.fingerprint d)))
+             shards));
+    R.prop "exact unbounded archive front = front2"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let pts = Gen.grid_points g ~size ~dim:2 in
+        let a = Pareto.Archive.of_list ~axes:axes2 pts in
+        R.check
+          (Pareto.Archive.front a = Pareto.front2 ~x ~y pts)
+          "incremental archive and collect-then-filter front disagree on %d \
+           points"
+          (List.length pts));
+    R.prop "every exact-front point is eps-covered by the eps-archive"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let pts = Gen.continuous_points g ~size ~dim:2 in
+        let eps = 0.05 +. (0.2 *. Prng.float g) in
+        let members = Pareto.Archive.front (Pareto.Archive.of_list ~axes:axes2 ~eps pts) in
+        let covered p =
+          List.exists
+            (fun m ->
+              List.for_all (fun f -> f m <= (1.0 +. eps) *. f p) axes2)
+            members
+        in
+        match List.find_opt (fun p -> not (covered p)) (Pareto.front2 ~x ~y pts) with
+        | None -> R.check true "covered"
+        | Some p ->
+          R.failf "front point (%.4f, %.4f) not within (1+%.3f) of any of %d \
+                   archive members"
+            (x p) (y p) eps (List.length members));
+    R.prop "capacity-bounded archive keeps the axis extremes"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let pts = Gen.continuous_points g ~size ~dim:2 in
+        let capacity = 2 + Prng.int g ~bound:6 in
+        let a = Pareto.Archive.of_list ~axes:axes2 ~capacity pts in
+        let members = Pareto.Archive.front a in
+        let minimum f = List.fold_left (fun acc p -> Float.min acc (f p)) infinity pts in
+        let mutually_nondominated =
+          List.for_all
+            (fun m ->
+              not
+                (List.exists
+                   (fun m' -> m' != m && Pareto.dominates ~axes:axes2 m' m)
+                   members))
+            members
+        in
+        R.all_of
+          [
+            R.check (List.length members <= capacity)
+              "archive holds %d members over its capacity %d"
+              (List.length members) capacity;
+            R.check
+              (List.exists (fun m -> x m = minimum x) members
+              && List.exists (fun m -> y m = minimum y) members)
+              "capacity thinning evicted an axis extreme";
+            R.check mutually_nondominated "archive members dominate each other";
+          ]);
+    R.prop ~cost:80 ~max_size:2
+      "an interrupted run returns a valid committed prefix"
+      (fun ~seed ~size ->
+        let g = Prng.create ~seed in
+        let w = Gen.workload g ~size in
+        with_default_cache (fun () ->
+            Eval.set_cache_capacity 0;
+            let config = shard_config ~shards:2 ~jobs:1 in
+            let full = Explore.run ~config w in
+            let budget =
+              Prng.int g
+                ~bound:(2 * (full.Explore.n_estimates + full.Explore.n_simulations) + 2)
+            in
+            let polls = ref 0 in
+            let interrupt () =
+              incr polls;
+              !polls > budget
+            in
+            let r = Explore.run ~config ~interrupt w in
+            let keys = design_keys r.Explore.simulated in
+            let full_keys = design_keys full.Explore.simulated in
+            let is_prefix =
+              List.length keys <= List.length full_keys
+              && keys
+                 = List.filteri (fun i _ -> i < List.length keys) full_keys
+            in
+            R.all_of
+              [
+                R.check
+                  (r.Explore.interrupted || run_summary r = run_summary full)
+                  "an uninterrupted run (budget %d) diverges from the plain \
+                   run"
+                  budget;
+                R.check is_prefix
+                  "the interrupted run's %d simulations are not a prefix of \
+                   the full run's %d"
+                  (List.length keys) (List.length full_keys);
+                R.check
+                  (design_keys r.Explore.pareto_cost_perf
+                  = design_keys
+                      (Pareto.front2 ~x:Design.cost ~y:Design.latency
+                         r.Explore.simulated))
+                  "the anytime front is not the pareto front of the committed \
+                   prefix";
+              ]));
+  ]
+
 (* -- replacement --------------------------------------------------------- *)
 
 (* Replay an (addr, write) stream through the production cache and
@@ -1157,7 +1384,7 @@ let selftest_suite =
 let names =
   [
     "pareto"; "cluster"; "assign"; "trace"; "stats"; "fingerprint"; "sim";
-    "eval"; "pipeline"; "explore"; "replacement";
+    "eval"; "pipeline"; "explore"; "shard"; "replacement";
   ]
 
 let all ?(jobs = Mx_util.Task_pool.default_jobs ()) () =
@@ -1172,6 +1399,7 @@ let all ?(jobs = Mx_util.Task_pool.default_jobs ()) () =
     ("eval", eval_suite);
     ("pipeline", pipeline_suite);
     ("explore", explore_suite ~jobs);
+    ("shard", shard_suite ~jobs);
     ("replacement", replacement_suite);
   ]
 

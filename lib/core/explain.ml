@@ -63,6 +63,20 @@ let summary events =
     (sum_attr "assign.level" "enumerated")
     (sum_attr "assign.level" "cap_pruned")
     (count "assign.kept") (count "assign.rejected");
+  (* shard work-queue: planned at clustering time, finished in commit
+     order; stolen/started records live under sched. and are dropped
+     from canonical dumps, so only report them when present *)
+  if count "shard.planned" > 0 then
+    line
+      "  Shard queue: %d shards planned (%d designs capped), %d finished \
+       carrying %d designs%s"
+      (count "shard.planned")
+      (sum_attr "shard.planned" "cap")
+      (count "shard.finished")
+      (sum_attr "shard.finished" "designs")
+      (match count "shard.sched.stolen" with
+      | 0 -> ""
+      | n -> Printf.sprintf ", %d stolen by pool workers" n);
   line
     "  Phase I: %d designs created -> %d kept, %d thinned (cost spread), %d \
      pruned (dominated)%s"
@@ -72,6 +86,21 @@ let summary events =
     | 0 -> ""
     | n -> Printf.sprintf ", +%d neighbors re-added" n);
   line "  Phase II: %d designs simulated" (count_in "phase2" "design.evaluated");
+  (* the anytime archive: every simulation is offered as it commits *)
+  if count "archive.insert" + count "archive.reject" > 0 then begin
+    let evict reason =
+      List.length
+        (List.filter
+           (fun (e : Ev.event) ->
+             e.Ev.name = "archive.evict" && attr_str e "reason" = Some reason)
+           events)
+    in
+    line
+      "  Archive: %d inserted, %d rejected (dominated on arrival), %d \
+       displaced, %d evicted (capacity)"
+      (count "archive.insert") (count "archive.reject") (evict "dominated")
+      (evict "capacity")
+  end;
   if count "design.refined" > 0 then
     line "  Refinement: %d designs re-simulated exactly" (count "design.refined");
   let sels =

@@ -12,7 +12,19 @@
     every APEX-selected memory architecture and keeps only each
     architecture's locally most promising (pareto) points; Phase II
     fully simulates the combined survivors and selects the global
-    pareto designs. *)
+    pareto designs.
+
+    {b Sharded, anytime execution.}  Phase I is organised as a
+    work-queue of design-space {!Shard}s (cluster-level ×
+    assignment-prefix slices, one queue across all selected
+    architectures) consumed by the {!Mx_util.Task_pool}; results commit
+    in queue order, so the design stream — and therefore the final
+    front — is byte-identical at every [shards] and [jobs] setting.
+    Phase II feeds every committed simulation into a
+    {!Mx_util.Pareto.Archive}, so the cost/latency front can be emitted
+    at any moment: interrupt a run (see [?interrupt] on {!run}) and the
+    returned front is a valid pareto front of exactly the work
+    committed so far. *)
 
 type config = {
   apex : Mx_apex.Explore.config;
@@ -33,12 +45,23 @@ type config = {
           most promising designs, to further refine the tradeoff
           choices"; ignored when [sample = None] *)
   jobs : int;
-      (** number of domains used for the Phase I estimate fan-out, the
-          Phase II simulations and the refinement pass, via
-          {!Mx_util.Task_pool}.  [jobs <= 1] runs everything serially on
-          the calling domain.  Results are bit-identical at every jobs
-          level (same designs, same order, same pareto front).  Defaults
-          to {!Mx_util.Task_pool.default_jobs}. *)
+      (** number of domains used for the shard queue, the Phase I
+          estimate fan-out, the Phase II simulations and the refinement
+          pass, via {!Mx_util.Task_pool}.  [jobs <= 1] runs everything
+          serially on the calling domain.  Results are bit-identical at
+          every jobs level (same designs, same order, same pareto
+          front).  Defaults to {!Mx_util.Task_pool.default_jobs}. *)
+  shards : int;
+      (** target number of prefix-shards each clustering level is split
+          into for the Phase I work-queue (see {!Shard.plan}); the
+          front is byte-identical at every value.  Default 1. *)
+  archive_eps : float;
+      (** ε-dominance slack of the anytime archive (see
+          {!Mx_util.Pareto.Archive.create}); 0 (the default) keeps the
+          exact front. *)
+  archive_capacity : int option;
+      (** optional bound on the anytime archive's size; [None] (the
+          default) keeps every non-dominated point. *)
 }
 
 val default_config : config
@@ -53,10 +76,15 @@ type result = {
       (** every Phase I estimate across all memory architectures *)
   simulated : Design.t list;  (** Phase II simulated survivors *)
   pareto_cost_perf : Design.t list;
-      (** cost/performance front of the simulated designs *)
+      (** cost/performance front of the simulated designs — with the
+          default archive settings, exactly
+          [Pareto.front2 ~x:cost ~y:latency simulated] *)
   n_estimates : int;
   n_simulations : int;
   wall_seconds : float;
+  interrupted : bool;
+      (** true when [?interrupt] stopped the run early; the fronts and
+          counts then describe the committed prefix of the work *)
 }
 
 val fidelity_of_sample : (int * int) option -> Mx_sim.Eval.fidelity
@@ -64,14 +92,28 @@ val fidelity_of_sample : (int * int) option -> Mx_sim.Eval.fidelity
     {!Mx_sim.Eval.Sampled} — how a [config.sample] maps onto the
     evaluation-engine ladder. *)
 
+val phase1 :
+  ?interrupt:(unit -> bool) ->
+  config ->
+  Mx_trace.Workload.t ->
+  Mx_apex.Explore.candidate list ->
+  Design.t list list option
+(** Phase I over the shard work-queue: plan every candidate
+    architecture into shards (serially — cluster.*, assign.* and
+    [shard.planned] records are deterministic), enumerate the combined
+    queue on the task pool, then merge, dedup and estimate per
+    architecture in candidate order.  Returns one estimate list per
+    candidate, byte-identical at every [shards]/[jobs] setting, or
+    [None] when [interrupt] fired while the queue was draining. *)
+
 val connectivity_exploration :
   config ->
   Mx_trace.Workload.t ->
   Mx_apex.Explore.candidate ->
   Design.t list
 (** One memory architecture: BRG, clustering levels, feasible
-    assignments, estimation.  Returns estimated (unsimulated) design
-    points. *)
+    assignments, estimation — {!phase1} with a single candidate.
+    Returns estimated (unsimulated) design points. *)
 
 val thin_by_cost : keep:int -> Design.t list -> Design.t list
 (** Even cost-spread subsample of [keep] designs (the cheapest and the
@@ -91,18 +133,37 @@ val evaluate_designs :
   Mx_trace.Workload.t ->
   stage:string ->
   fidelity:Mx_sim.Eval.fidelity ->
+  ?interrupt:(unit -> bool) ->
+  ?archive:Design.t Mx_util.Pareto.Archive.t ->
   Design.t list ->
   Design.t list
 (** Evaluate each design at the given fidelity on the task pool
     ([config.jobs], one design per dispatch) and attach the result with
-    {!Design.with_sim}.  Emits [design.evaluated] and
-    [eval.cache.provenance] events under [stage] for every design — all
-    emission happens serially after the parallel map, in input order,
-    so event sequences are identical at every jobs level.  Used by
-    Phase II ([stage = "phase2"]), refinement ([stage = "refine"]) and
-    the strategy harness. *)
+    {!Design.with_sim}.  Results commit on the calling domain in input
+    order ({!Mx_util.Task_pool.parallel_map_commit}): each commit emits
+    the [design.evaluated] and [eval.cache.provenance] events under
+    [stage] and inserts the design into [?archive] when given (emitting
+    [archive.insert] / [archive.reject] / [archive.evict] events), so
+    event sequences and archive contents are identical at every jobs
+    level.  When [?interrupt] returns true the evaluation stops at a
+    clean input prefix and the committed designs are returned (the
+    result is shorter than the input).  Used by Phase II
+    ([stage = "phase2"]), refinement ([stage = "refine"]) and the
+    strategy harness. *)
 
-val run : ?config:config -> Mx_trace.Workload.t -> result
-(** The full two-phase ConEx algorithm: APEX selection, per-architecture
-    connectivity exploration, local selection, full simulation of the
-    combined set, global pareto. *)
+val run :
+  ?config:config ->
+  ?interrupt:(unit -> bool) ->
+  Mx_trace.Workload.t ->
+  result
+(** The full two-phase ConEx algorithm: APEX selection, sharded
+    per-architecture connectivity exploration, local selection, full
+    simulation of the combined set, global pareto via the anytime
+    archive.
+
+    [?interrupt] (polled between units of committed work, never from
+    workers) makes the run {e anytime}: when it returns true the run
+    stops at the next commit boundary and returns [interrupted = true]
+    with a valid result for the committed prefix — in particular
+    [pareto_cost_perf] is the archive's current front (empty when the
+    interrupt fired before any simulation committed). *)

@@ -58,7 +58,11 @@ let neighbors_of ~k selected all =
        []
   |> List.rev
 
-let finish kind ~n_estimates ~t0 simulated =
+(* [front] is the strategy's cost/latency front — the anytime archive's
+   emission for the sweeps that feed one ({!Explore.evaluate_designs}
+   with [~archive]), which with the default (exact, unbounded) archive
+   settings equals [Pareto.front2] over [simulated]. *)
+let finish kind ~n_estimates ~t0 ~front simulated =
   let m = Mx_util.Metrics.global in
   let label = String.lowercase_ascii (kind_to_string kind) in
   Mx_util.Metrics.incr m ("strategy." ^ label ^ ".runs");
@@ -76,8 +80,7 @@ let finish kind ~n_estimates ~t0 simulated =
   {
     kind;
     designs = simulated;
-    pareto_cost_perf =
-      Mx_util.Pareto.front2 ~x:Design.cost ~y:Design.latency simulated;
+    pareto_cost_perf = front;
     n_estimates;
     n_simulations = List.length simulated;
     wall_seconds = Unix.gettimeofday () -. t0;
@@ -95,7 +98,8 @@ let run ?(config = Explore.default_config) ?(neighbors = 2)
   match kind with
   | Pruned ->
     let r = Explore.run ~config workload in
-    finish Pruned ~n_estimates:r.Explore.n_estimates ~t0 r.Explore.simulated
+    finish Pruned ~n_estimates:r.Explore.n_estimates ~t0
+      ~front:r.Explore.pareto_cost_perf r.Explore.simulated
   | Neighborhood ->
     let profile = Mx_trace.Profile.analyze workload in
     (* widen the memory-architecture net: the full APEX pareto front *)
@@ -103,12 +107,18 @@ let run ?(config = Explore.default_config) ?(neighbors = 2)
       Mx_apex.Explore.explore ~config:config.Explore.apex profile
       |> Mx_apex.Explore.pareto
     in
-    let n_estimates = ref 0 in
+    (* one shard queue across every front architecture *)
+    let per_arch =
+      match Explore.phase1 config workload apex_front with
+      | Some ests -> ests
+      | None -> assert false (* no interrupt hook on strategies *)
+    in
+    let n_estimates =
+      List.fold_left (fun acc ests -> acc + List.length ests) 0 per_arch
+    in
     let survivors =
       List.concat_map
-        (fun cand ->
-          let ests = Explore.connectivity_exploration config workload cand in
-          n_estimates := !n_estimates + List.length ests;
+        (fun ests ->
           let selected = Explore.local_promising config ests in
           let nbrs = neighbors_of ~k:neighbors selected ests in
           if Ev.is_on Ev.global then
@@ -118,14 +128,22 @@ let run ?(config = Explore.default_config) ?(neighbors = 2)
                   [ ("design", Ev.Str (Design.structural_key d)) ])
               nbrs;
           selected @ nbrs)
-        apex_front
+        per_arch
+    in
+    let archive =
+      Mx_util.Pareto.Archive.create
+        ~axes:[ Design.cost; Design.latency ]
+        ~eps:config.Explore.archive_eps
+        ?capacity:config.Explore.archive_capacity ()
     in
     let simulated =
       Explore.evaluate_designs config workload ~stage:"phase2"
         ~fidelity:(Explore.fidelity_of_sample config.Explore.sample)
-        survivors
+        ~archive survivors
     in
-    finish Neighborhood ~n_estimates:!n_estimates ~t0 simulated
+    finish Neighborhood ~n_estimates ~t0
+      ~front:(Mx_util.Pareto.Archive.front archive)
+      simulated
   | Full ->
     let profile = Mx_trace.Profile.analyze workload in
     let all_archs =
@@ -184,9 +202,17 @@ let run ?(config = Explore.default_config) ?(neighbors = 2)
             conns)
         per_arch
     in
+    let archive =
+      Mx_util.Pareto.Archive.create
+        ~axes:[ Design.cost; Design.latency ]
+        ~eps:config.Explore.archive_eps
+        ?capacity:config.Explore.archive_capacity ()
+    in
     let simulated =
       Explore.evaluate_designs config workload ~stage:"phase2"
         ~fidelity:(Explore.fidelity_of_sample config.Explore.sample)
-        designs
+        ~archive designs
     in
-    finish Full ~n_estimates:0 ~t0 simulated
+    finish Full ~n_estimates:0 ~t0
+      ~front:(Mx_util.Pareto.Archive.front archive)
+      simulated

@@ -3,6 +3,7 @@ module Trace = Mx_trace.Trace
 module Mem_arch = Mx_mem.Mem_arch
 module Conn_arch = Mx_connect.Conn_arch
 module Memo_cache = Mx_util.Memo_cache
+module Metrics = Mx_util.Metrics
 
 type fidelity = Estimate | Sampled of int * int | Exact
 
@@ -18,10 +19,30 @@ let make_cache capacity =
 
 let cache : Sim_result.t Memo_cache.t ref = ref (make_cache default_cache_capacity)
 
-let set_cache_capacity capacity = cache := make_cache (max 0 capacity)
+(* Shard provenance: which shard computed each cache entry.  A bounded
+   side table keyed like the cache; purely observational — it feeds the
+   [eval.cache.shard_*] counters that say whether a sharded run is
+   being served by its own shard's work or by a sibling's.  Everything
+   here is timing-dependent, hence the [cache.] metric segment. *)
+let producers : (string, string) Hashtbl.t = Hashtbl.create 1024
+let producers_mu = Mutex.create ()
+let producers_bound = 262_144
+
+let producers_clear () =
+  Mutex.lock producers_mu;
+  Hashtbl.reset producers;
+  Mutex.unlock producers_mu
+
+let set_cache_capacity capacity =
+  cache := make_cache (max 0 capacity);
+  producers_clear ()
+
 let cache_capacity () = Memo_cache.capacity !cache
 let cache_stats () = Memo_cache.stats !cache
-let clear_cache () = Memo_cache.clear !cache
+
+let clear_cache () =
+  Memo_cache.clear !cache;
+  producers_clear ()
 
 (* Workload fingerprints are O(trace length); exploration evaluates the
    same workload thousands of times, so memoise the last one by physical
@@ -50,7 +71,29 @@ let provenance_tag = function
 
 let prov_of_hit = function true -> Cache_hit | false -> Computed
 
-let eval_prov ~fidelity ~workload ~arch ?profile ~conn () =
+let note_shard ~shard ~key prov =
+  match shard with
+  | None -> ()
+  | Some shard -> (
+    match prov with
+    | Computed ->
+      Mutex.lock producers_mu;
+      if Hashtbl.length producers >= producers_bound then
+        Hashtbl.reset producers;
+      Hashtbl.replace producers key shard;
+      Mutex.unlock producers_mu
+    | Cache_hit | Promoted ->
+      Mutex.lock producers_mu;
+      let owner = Hashtbl.find_opt producers key in
+      Mutex.unlock producers_mu;
+      if Metrics.is_on Metrics.global then
+        Metrics.incr Metrics.global
+          (match owner with
+          | Some o when o = shard -> "eval.cache.shard_local_hits"
+          | Some _ -> "eval.cache.shard_remote_hits"
+          | None -> "eval.cache.shard_unknown_hits"))
+
+let eval_prov ~fidelity ~workload ~arch ?profile ?shard ~conn () =
   let c = !cache in
   let base =
     workload_fingerprint workload
@@ -64,32 +107,42 @@ let eval_prov ~fidelity ~workload ~arch ?profile ~conn () =
       | Some p -> p
       | None -> invalid_arg "Eval.eval: Estimate fidelity requires ~profile"
     in
+    let k = key ~base Estimate in
     let r, hit =
-      Memo_cache.find_or_compute_prov c ~key:(key ~base Estimate) (fun () ->
+      Memo_cache.find_or_compute_prov c ~key:k (fun () ->
           Estimator.estimate ~workload ~arch ~profile ~conn)
     in
-    (r, prov_of_hit hit)
+    let prov = prov_of_hit hit in
+    note_shard ~shard ~key:k prov;
+    (r, prov)
   | Exact ->
+    let k = key ~base Exact in
     let r, hit =
-      Memo_cache.find_or_compute_prov c ~key:(key ~base Exact) (fun () ->
+      Memo_cache.find_or_compute_prov c ~key:k (fun () ->
           Cycle_sim.run ~workload ~arch ~conn ())
     in
-    (r, prov_of_hit hit)
+    let prov = prov_of_hit hit in
+    note_shard ~shard ~key:k prov;
+    (r, prov)
   | Sampled (on, off) -> (
     (* an exact result for the same design is strictly higher fidelity:
        serve it instead of re-simulating with sampling *)
     match Memo_cache.peek c ~key:(key ~base Exact) with
-    | Some r -> (r, Promoted)
+    | Some r ->
+      note_shard ~shard ~key:(key ~base Exact) Promoted;
+      (r, Promoted)
     | None ->
+      let k = key ~base (Sampled (on, off)) in
       let r, hit =
-        Memo_cache.find_or_compute_prov c
-          ~key:(key ~base (Sampled (on, off)))
-          (fun () -> Cycle_sim.run ~sample:(on, off) ~workload ~arch ~conn ())
+        Memo_cache.find_or_compute_prov c ~key:k (fun () ->
+            Cycle_sim.run ~sample:(on, off) ~workload ~arch ~conn ())
       in
-      (r, prov_of_hit hit))
+      let prov = prov_of_hit hit in
+      note_shard ~shard ~key:k prov;
+      (r, prov))
 
-let eval ~fidelity ~workload ~arch ?profile ~conn () =
-  fst (eval_prov ~fidelity ~workload ~arch ?profile ~conn ())
+let eval ~fidelity ~workload ~arch ?profile ?shard ~conn () =
+  fst (eval_prov ~fidelity ~workload ~arch ?profile ?shard ~conn ())
 
 (* Streamed evaluation shares the cache with the in-memory paths: the
    streamed fingerprint is the same string Workload.fingerprint would

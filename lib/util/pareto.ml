@@ -63,9 +63,10 @@ module Coverage = struct
     in
     let found = total - List.length missed in
     let avg_dist = Array.make naxes 0.0 in
-    (if missed <> [] then begin
-       if explored = [] then
-         invalid_arg "Pareto.Coverage.eval: empty explored set with misses";
+    (* An empty explored set covers nothing: report 0% (for a non-empty
+       reference) with zero distances — there is no nearest explored
+       point to measure against. *)
+    (if missed <> [] && explored <> [] then begin
        (* Normalise each axis by the reference front's span so the
           nearest-neighbour search is scale-free. *)
        let spans =
@@ -117,4 +118,160 @@ module Coverage = struct
          else 100.0 *. float_of_int found /. float_of_int total);
       avg_dist_pct = avg_dist;
     }
+end
+
+module Archive = struct
+  type 'a t = {
+    axes : 'a axis list;
+    eps : float;
+    capacity : int option;
+    (* (insertion seq, value); list order is irrelevant — [seq] is the
+       authoritative tie-breaker everywhere. *)
+    mutable members : (int * 'a) list;
+    mutable next_seq : int;
+    mutable inserts : int;
+    mutable rejects : int;
+    mutable removed : int;
+    mutable evicted : int;
+  }
+
+  type 'a outcome = Added of { removed : 'a list; evicted : 'a list } | Rejected
+
+  type stats = {
+    size : int;
+    inserts : int;
+    rejects : int;
+    removed : int;
+    evicted : int;
+  }
+
+  let create ~axes ?(eps = 0.0) ?capacity () =
+    if axes = [] then invalid_arg "Pareto.Archive.create: no axes";
+    if not (eps >= 0.0) then invalid_arg "Pareto.Archive.create: eps < 0";
+    (match capacity with
+    | Some c when c < 1 -> invalid_arg "Pareto.Archive.create: capacity < 1"
+    | _ -> ());
+    {
+      axes;
+      eps;
+      capacity;
+      members = [];
+      next_seq = 0;
+      inserts = 0;
+      rejects = 0;
+      removed = 0;
+      evicted = 0;
+    }
+
+  (* Relaxed dominance for thinning: [m] eps-dominates [v] when m is
+     within a (1+eps) multiplicative slack of v on every axis and
+     strictly inside it on at least one.  With [eps = 0] this is exactly
+     [dominates] (so equal objective vectors are kept, matching [front]
+     and [front2]); with [eps > 0] near-duplicates of an archived point
+     are rejected.  Axes are assumed non-negative when [eps > 0]. *)
+  let eps_dominates ~axes ~eps a b =
+    let relax v = (1.0 +. eps) *. v in
+    List.for_all (fun f -> f a <= relax (f b)) axes
+    && List.exists (fun f -> f a < relax (f b)) axes
+
+  let compare_members axes (sa, a) (sb, b) =
+    let rec go = function
+      | [] -> compare sa sb
+      | f :: rest -> (
+        match Float.compare (f a) (f b) with 0 -> go rest | c -> c)
+    in
+    go axes
+
+  let front t =
+    List.map snd (List.sort (compare_members t.axes) t.members)
+
+  let size t = List.length t.members
+
+  let stats t =
+    {
+      size = size t;
+      inserts = t.inserts;
+      rejects = t.rejects;
+      removed = t.removed;
+      evicted = t.evicted;
+    }
+
+  (* Capacity thinning: drop the most crowded member — smallest
+     NSGA-II-style crowding distance (sum over axes of the span-
+     normalised gap between its neighbours in that axis's order);
+     extreme points score infinity and always survive.  Ties evict the
+     newest (highest seq), so eviction is a pure function of the
+     insertion sequence. *)
+  let evict_one t =
+    let arr = Array.of_list t.members in
+    let n = Array.length arr in
+    let crowd = Array.make n 0.0 in
+    List.iter
+      (fun f ->
+        let idx = Array.init n (fun i -> i) in
+        Array.sort
+          (fun i j ->
+            match Float.compare (f (snd arr.(i))) (f (snd arr.(j))) with
+            | 0 -> compare (fst arr.(i)) (fst arr.(j))
+            | c -> c)
+          idx;
+        let lo = f (snd arr.(idx.(0))) and hi = f (snd arr.(idx.(n - 1))) in
+        let span = if hi -. lo <= 0.0 then 1.0 else hi -. lo in
+        crowd.(idx.(0)) <- infinity;
+        crowd.(idx.(n - 1)) <- infinity;
+        for k = 1 to n - 2 do
+          let gap =
+            (f (snd arr.(idx.(k + 1))) -. f (snd arr.(idx.(k - 1)))) /. span
+          in
+          crowd.(idx.(k)) <- crowd.(idx.(k)) +. gap
+        done)
+      t.axes;
+    let victim = ref 0 in
+    for i = 1 to n - 1 do
+      let c = Float.compare crowd.(i) crowd.(!victim) in
+      if c < 0 || (c = 0 && fst arr.(i) > fst arr.(!victim)) then victim := i
+    done;
+    let _, v = arr.(!victim) in
+    let vi = !victim in
+    t.members <- List.filteri (fun i _ -> i <> vi) t.members;
+    v
+
+  let insert t v =
+    if List.exists (fun (_, m) -> eps_dominates ~axes:t.axes ~eps:t.eps m v)
+         t.members
+    then begin
+      t.rejects <- t.rejects + 1;
+      Rejected
+    end
+    else begin
+      let dominated, kept =
+        List.partition (fun (_, m) -> dominates ~axes:t.axes v m) t.members
+      in
+      let removed =
+        List.map snd
+          (List.sort (fun (a, _) (b, _) -> compare a b) dominated)
+      in
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      t.inserts <- t.inserts + 1;
+      t.members <- (seq, v) :: kept;
+      let evicted =
+        match t.capacity with
+        | None -> []
+        | Some c ->
+          let out = ref [] in
+          while List.length t.members > c do
+            out := evict_one t :: !out
+          done;
+          List.rev !out
+      in
+      t.removed <- t.removed + List.length removed;
+      t.evicted <- t.evicted + List.length evicted;
+      Added { removed; evicted }
+    end
+
+  let of_list ~axes ?eps ?capacity vs =
+    let t = create ~axes ?eps ?capacity () in
+    List.iter (fun v -> ignore (insert t v)) vs;
+    t
 end

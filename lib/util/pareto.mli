@@ -47,7 +47,74 @@ module Coverage : sig
   (** [eval ~axes ~equal ~reference ~explored] measures how well
       [explored] covers the [reference] front.  [equal] decides whether
       an explored design {e is} a given reference design (typically
-      structural equality on the architecture, not on metrics).
-      @raise Invalid_argument if [explored] is empty while some
-      reference point is missed. *)
+      structural equality on the architecture, not on metrics).  When
+      [explored] is empty every reference point is missed: the report
+      has [found = 0] (0% coverage for a non-empty reference) and
+      all-zero [avg_dist_pct], since there is no nearest explored point
+      to measure a distance to. *)
+end
+
+(** Bounded, incrementally-updated pareto archive with ε-dominance
+    thinning.  Feed it evaluated designs one at a time; [front] emits
+    the current non-dominated set {e at any moment} — the core of the
+    anytime exploration contract: interrupt a run after any prefix of
+    insertions and the emitted front is a valid pareto front of exactly
+    that prefix.
+
+    Determinism: the archive's state is a pure function of the
+    insertion sequence (no clocks, no randomness), so identical
+    insertion streams yield byte-identical fronts regardless of how the
+    evaluations that produced them were scheduled.
+
+    With [eps = 0] and no [capacity] (the defaults), the final [front]
+    over a full insertion stream equals [front2 ~x ~y] of the same list
+    for two axes (same members, same order, duplicates included), and
+    the non-dominated subset of [front ~axes] for any axis count. *)
+module Archive : sig
+  type 'a t
+
+  type 'a outcome =
+    | Added of { removed : 'a list; evicted : 'a list }
+        (** Inserted.  [removed] = previously archived members now
+            dominated by the new point (ascending insertion order);
+            [evicted] = members dropped by capacity thinning (possibly
+            including the new point itself). *)
+    | Rejected  (** (ε-)dominated by an archived member; not inserted. *)
+
+  type stats = {
+    size : int;      (** current member count *)
+    inserts : int;   (** accepted insertions *)
+    rejects : int;   (** (ε-)dominated insertions *)
+    removed : int;   (** members displaced by dominating inserts *)
+    evicted : int;   (** members dropped by capacity thinning *)
+  }
+
+  val create :
+    axes:'a axis list -> ?eps:float -> ?capacity:int -> unit -> 'a t
+  (** [create ~axes ?eps ?capacity ()] makes an empty archive.  [eps]
+      (default 0) is the relative ε-dominance slack: an incoming point
+      is rejected when an archived member is within a [(1 + eps)]
+      multiplicative factor of it on every axis and strictly inside
+      that slack on at least one (axes are assumed non-negative when
+      [eps > 0]).  [capacity] bounds the member count; when exceeded,
+      the most crowded member (smallest span-normalised crowding
+      distance; extremes never) is dropped, ties evicting the newest.
+      @raise Invalid_argument on empty [axes], [eps < 0] or
+      [capacity < 1]. *)
+
+  val insert : 'a t -> 'a -> 'a outcome
+  (** Offer one point.  O(size) dominance scan (plus an O(size log
+      size) crowding pass when capacity-thinning triggers). *)
+
+  val front : 'a t -> 'a list
+  (** Current non-dominated set, sorted by the axes in order (first
+      axis ascending, ties by the next, ...) and finally by insertion
+      order — for two axes this is exactly [front2]'s output order. *)
+
+  val size : 'a t -> int
+  val stats : 'a t -> stats
+
+  val of_list :
+    axes:'a axis list -> ?eps:float -> ?capacity:int -> 'a list -> 'a t
+  (** [of_list ~axes vs] inserts [vs] in order into a fresh archive. *)
 end

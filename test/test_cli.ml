@@ -267,6 +267,58 @@ let test_strategies_metrics () =
         (Test_metrics.contains ~needle out))
     [ "strategy.pruned"; "strategy.full"; "strategy.neighborhood" ]
 
+(* -- sharded / anytime exploration and the full-budget guard ------------ *)
+
+let test_explore_shards_front_out () =
+  let path = Filename.temp_file "conex_front" ".csv" in
+  let ((_, out, _) as r) =
+    run_conex
+      ([ "explore"; "-w"; "mixed"; "--shards"; "3"; "--front-out"; path ]
+      @ fast)
+  in
+  check_exit "explore --shards --front-out" 0 r;
+  Helpers.check_true "reports the export"
+    (Test_metrics.contains ~needle:"pareto designs exported" out);
+  let ic = open_in path in
+  let header =
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_line ic)
+  in
+  Sys.remove path;
+  Helpers.check_true "front CSV has the design header"
+    (Test_metrics.contains ~needle:"cost_gates" header)
+
+let test_bad_shards () =
+  let ((_, _, err) as r) =
+    run_conex ([ "explore"; "-w"; "mixed"; "--shards"; "0" ] @ fast)
+  in
+  check_exit "non-positive shards" 2 r;
+  Helpers.check_true "stderr names the flag"
+    (Test_metrics.contains ~needle:"--shards" err);
+  check_no_internal_error r
+
+(* Strategy.Full_infeasible's payload must round-trip into the error
+   message: both the projected simulation count and the budget. *)
+let test_strategies_full_budget_infeasible () =
+  let ((_, _, err) as r) =
+    run_conex
+      [ "strategies"; "-w"; "mixed"; "--scale"; "1500"; "--jobs"; "1";
+        "--full-budget"; "1" ]
+  in
+  check_exit "infeasible full budget" 2 r;
+  Helpers.check_true "stderr carries the projection"
+    (Test_metrics.contains ~needle:"projected simulations" err);
+  Helpers.check_true "stderr carries the budget"
+    (Test_metrics.contains ~needle:"budget of 1 " err);
+  check_no_internal_error r
+
+let test_bad_full_budget () =
+  let r =
+    run_conex
+      [ "strategies"; "-w"; "mixed"; "--scale"; "1500"; "--full-budget"; "0" ]
+  in
+  check_exit "non-positive full budget" 2 r;
+  check_no_internal_error r
+
 (* -- check: exit-code contract of the correctness harness --------------- *)
 
 let test_check_suite_ok () =
@@ -340,6 +392,13 @@ let suite =
         test_explain_missing_file;
       Alcotest.test_case "--chrome-out" `Slow test_chrome_out_file;
       Alcotest.test_case "strategies --metrics" `Slow test_strategies_metrics;
+      Alcotest.test_case "--shards + --front-out" `Slow
+        test_explore_shards_front_out;
+      Alcotest.test_case "bad --shards exits 2" `Quick test_bad_shards;
+      Alcotest.test_case "infeasible --full-budget exits 2" `Slow
+        test_strategies_full_budget_infeasible;
+      Alcotest.test_case "bad --full-budget exits 2" `Quick
+        test_bad_full_budget;
       Alcotest.test_case "check suite exits 0" `Quick test_check_suite_ok;
       Alcotest.test_case "check counterexample exits 1" `Quick
         test_check_counterexample;

@@ -217,6 +217,80 @@ let test_full_budget_guard () =
        false
      with Strategy.Full_infeasible _ -> true)
 
+(* The guard is exact: a budget of exactly the projected simulation
+   count is feasible; one less is not, and the exception payload
+   carries both numbers. *)
+let test_full_budget_boundary () =
+  let w = Lazy.force small_workload in
+  let full, _, _ = Lazy.force strategies in
+  let projected = full.Strategy.n_simulations in
+  let at =
+    Strategy.run ~config:small_config ~full_budget:projected Strategy.Full w
+  in
+  Helpers.check_int "budget = projection runs the full sweep" projected
+    at.Strategy.n_simulations;
+  match
+    Strategy.run ~config:small_config ~full_budget:(projected - 1)
+      Strategy.Full w
+  with
+  | _ -> Alcotest.fail "budget below the projection should raise"
+  | exception Strategy.Full_infeasible { projected_sims; budget } ->
+    Helpers.check_int "payload carries the projection" projected
+      projected_sims;
+    Helpers.check_int "payload carries the budget" (projected - 1) budget
+
+(* -- shard wire format -------------------------------------------------------- *)
+
+module Shard = Conex.Shard
+
+let sample_descriptor =
+  {
+    Shard.workload_fp = "wl:abc";
+    arch_label = "C8K";
+    arch_fp = "mem:xyz";
+    level = 2;
+    prefix = [ "mux32"; "apb32" ];
+    space = 12;
+    cap = 7;
+  }
+
+let test_shard_line_roundtrip () =
+  (match Shard.of_line (Shard.to_line sample_descriptor) with
+  | Ok d' -> Helpers.check_true "round-trips" (d' = sample_descriptor)
+  | Error e -> Alcotest.failf "of_line: %s" e);
+  let d0 = { sample_descriptor with Shard.prefix = [] } in
+  match Shard.of_line (Shard.to_line d0) with
+  | Ok d' -> Helpers.check_true "empty prefix round-trips" (d' = d0)
+  | Error e -> Alcotest.failf "of_line: %s" e
+
+let test_shard_of_line_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match Shard.of_line line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted garbage line %S" line)
+    [
+      "";
+      "not a shard";
+      "shard\t9\tx";
+      Shard.to_line sample_descriptor ^ "\textra";
+    ]
+
+let test_shard_save_load () =
+  let path = Filename.temp_file "conex_shards" ".queue" in
+  let ds =
+    [
+      sample_descriptor;
+      { sample_descriptor with Shard.level = 0; prefix = [] };
+    ]
+  in
+  Shard.save ~path ds;
+  let r = Shard.load ~path in
+  Sys.remove path;
+  match r with
+  | Ok ds' -> Helpers.check_true "queue round-trips" (ds' = ds)
+  | Error e -> Alcotest.failf "load: %s" e
+
 (* -- report ------------------------------------------------------------------ *)
 
 let test_annotate_labels () =
@@ -275,6 +349,13 @@ let suite =
       Alcotest.test_case "neighborhood >= pruned" `Slow test_neighborhood_at_least_as_good;
       Alcotest.test_case "coverage reference check" `Slow test_coverage_requires_full_reference;
       Alcotest.test_case "full budget guard" `Slow test_full_budget_guard;
+      Alcotest.test_case "full budget boundary" `Slow
+        test_full_budget_boundary;
+      Alcotest.test_case "shard line roundtrip" `Quick
+        test_shard_line_roundtrip;
+      Alcotest.test_case "shard rejects garbage" `Quick
+        test_shard_of_line_rejects_garbage;
+      Alcotest.test_case "shard save/load" `Quick test_shard_save_load;
       Alcotest.test_case "annotate labels" `Slow test_annotate_labels;
       Alcotest.test_case "annotate sorted" `Slow test_annotate_sorted_by_cost;
       Alcotest.test_case "ascii scatter" `Slow test_ascii_scatter_renders;

@@ -14,12 +14,13 @@ module Explore = Conex.Explore
 let scale = 4000
 let seed = 7
 
-let config ~jobs =
+let config ?(shards = 1) ~jobs () =
   {
     Explore.reduced_config with
     Explore.apex =
       { Mx_apex.Explore.reduced_config with Mx_apex.Explore.max_selected = 3 };
     jobs;
+    shards;
   }
 
 (* name, generator, (n_estimates, n_simulations, pareto front size) *)
@@ -30,9 +31,9 @@ let pins =
     ("dijkstra", Mx_trace.Kern_graph.generate, (40, 15, 9));
   ]
 
-let check_pin ~jobs (name, gen, (est, sim, front)) () =
+let check_pin ?shards ~jobs (name, gen, (est, sim, front)) () =
   let w = gen ~scale ~seed in
-  let r = Explore.run ~config:(config ~jobs) w in
+  let r = Explore.run ~config:(config ?shards ~jobs ()) w in
   Helpers.check_int (name ^ ": n_estimates") est r.Explore.n_estimates;
   Helpers.check_int (name ^ ": n_simulations") sim r.Explore.n_simulations;
   Helpers.check_int (name ^ ": pareto front size") front
@@ -48,8 +49,10 @@ let check_pin ~jobs (name, gen, (est, sim, front)) () =
     (r.Explore.n_estimates >= r.Explore.n_simulations
     && r.Explore.n_simulations >= List.length r.Explore.pareto_cost_perf)
 
-(* The pins hold at every jobs level: Explore.run is bit-identical
-   serial and parallel, so the same numbers are checked under both. *)
+(* The pins hold at every jobs level AND every shard count: Explore.run
+   is bit-identical serial and parallel, and the shard work-queue merges
+   back into the monolithic design stream, so the same numbers are
+   checked under all three regimes. *)
 let suite =
   ( "golden",
     List.map
@@ -62,4 +65,11 @@ let suite =
             (Printf.sprintf "funnel: %s (jobs=%d)" name Helpers.test_jobs)
             `Slow
             (check_pin ~jobs:Helpers.test_jobs pin))
+        pins
+    @ List.map
+        (fun ((name, _, _) as pin) ->
+          Alcotest.test_case
+            (Printf.sprintf "funnel: %s (shards=4)" name)
+            `Slow
+            (check_pin ~shards:4 ~jobs:1 pin))
         pins )

@@ -187,6 +187,87 @@ let test_run_sampled_refine_parallel_matches_serial () =
   Helpers.check_true "sampled+refined results byte-identical"
     (strip_wall serial = strip_wall parallel)
 
+(* -- parallel_map_commit --------------------------------------------------- *)
+
+(* Commits must arrive on the calling domain, in input order, exactly
+   once each — whatever the jobs/chunk split. *)
+let test_commit_ordered () =
+  let xs = List.init 500 Fun.id in
+  List.iter
+    (fun (jobs, chunk) ->
+      let caller = Domain.self () in
+      let seen = ref [] in
+      let n =
+        Task_pool.parallel_map_commit ~jobs ~chunk
+          ~commit:(fun i x y ->
+            Helpers.check_true "commit runs on the calling domain"
+              (Domain.self () = caller);
+            Helpers.check_int "index matches element" i x;
+            seen := y :: !seen)
+          (fun x -> x * 3)
+          xs
+      in
+      Helpers.check_int
+        (Printf.sprintf "jobs=%d chunk=%d commits everything" jobs chunk)
+        (List.length xs) n;
+      Helpers.check_true "commits in input order"
+        (List.rev !seen = List.map (fun x -> x * 3) xs))
+    [ (1, 4); (2, 1); (4, 7); (4, 64); (8, 500) ]
+
+let test_commit_stop_prefix () =
+  let xs = List.init 200 Fun.id in
+  List.iter
+    (fun jobs ->
+      let seen = ref [] in
+      let committed = ref 0 in
+      let stop () = !committed >= 20 in
+      let n =
+        Task_pool.parallel_map_commit ~jobs ~chunk:3
+          ~should_stop:stop
+          ~commit:(fun _ x _ ->
+            incr committed;
+            seen := x :: !seen)
+          Fun.id xs
+      in
+      Helpers.check_int
+        (Printf.sprintf "jobs=%d stops after the requested prefix" jobs)
+        20 n;
+      Helpers.check_true "the committed prefix is the input prefix"
+        (List.rev !seen = List.filteri (fun i _ -> i < 20) xs))
+    [ 1; 4 ]
+
+let test_commit_exception_keeps_prefix () =
+  let xs = List.init 100 Fun.id in
+  List.iter
+    (fun jobs ->
+      let seen = ref [] in
+      match
+        Task_pool.parallel_map_commit ~jobs ~chunk:1
+          ~commit:(fun _ x _ -> seen := x :: !seen)
+          (fun x -> if x = 41 then raise (Boom x) else x)
+          xs
+      with
+      | _ -> Alcotest.fail "expected the worker exception to re-raise"
+      | exception Boom 41 ->
+        Helpers.check_true
+          (Printf.sprintf "jobs=%d preserves the clean committed prefix" jobs)
+          (List.rev !seen = List.filteri (fun i _ -> i < 41) xs))
+    [ 1; 4 ]
+
+let test_commit_empty_and_negative () =
+  Helpers.check_int "empty input commits nothing" 0
+    (Task_pool.parallel_map_commit ~jobs:4 ~chunk:3
+       ~commit:(fun _ _ _ -> Alcotest.fail "no commit expected")
+       succ []);
+  Helpers.check_true "jobs < 0 rejected"
+    (try
+       ignore
+         (Task_pool.parallel_map_commit ~jobs:(-1) ~chunk:1
+            ~commit:(fun _ _ _ -> ())
+            succ [ 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
   ( "parallel",
     [
@@ -201,6 +282,12 @@ let suite =
       Alcotest.test_case "first exception wins" `Quick test_first_exception_wins;
       Alcotest.test_case "nested call degrades" `Quick test_nested_call_degrades;
       Alcotest.test_case "pool reused" `Quick test_pool_reused;
+      Alcotest.test_case "commit ordered" `Quick test_commit_ordered;
+      Alcotest.test_case "commit stop prefix" `Quick test_commit_stop_prefix;
+      Alcotest.test_case "commit exception prefix" `Quick
+        test_commit_exception_keeps_prefix;
+      Alcotest.test_case "commit edge cases" `Quick
+        test_commit_empty_and_negative;
       Alcotest.test_case "thin_by_cost keep=1" `Quick test_thin_keep1_no_division_by_zero;
       Alcotest.test_case "thin_by_cost bounds" `Quick test_thin_keep_bounds;
       Alcotest.test_case "serial = parallel" `Slow test_run_parallel_matches_serial;

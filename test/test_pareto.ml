@@ -98,6 +98,92 @@ let test_coverage_empty_reference () =
   in
   Helpers.check_float "empty reference = 100%" 100.0 r.Pareto.Coverage.coverage_pct
 
+let test_coverage_empty_explored () =
+  (* an empty exploration covers nothing: 0% and zero distances, never
+     an exception (the distance average has no sample to draw from) *)
+  let ref_pts = [ mk 1.0 3.0 0.0; mk 2.0 2.0 0.0 ] in
+  let r =
+    Pareto.Coverage.eval ~axes:[ px; py ]
+      ~equal:(fun a b -> a.x = b.x && a.y = b.y)
+      ~reference:ref_pts ~explored:[]
+  in
+  Helpers.check_float "0% coverage" 0.0 r.Pareto.Coverage.coverage_pct;
+  Helpers.check_float "x distance 0" 0.0 r.Pareto.Coverage.avg_dist_pct.(0);
+  Helpers.check_float "y distance 0" 0.0 r.Pareto.Coverage.avg_dist_pct.(1)
+
+(* -- archive -------------------------------------------------------------- *)
+
+let expect_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+let test_archive_create_validates () =
+  expect_invalid "empty axes" (fun () ->
+      Pareto.Archive.create ~axes:([] : (pt -> float) list) ());
+  expect_invalid "negative eps" (fun () ->
+      Pareto.Archive.create ~axes:[ px ] ~eps:(-0.1) ());
+  expect_invalid "zero capacity" (fun () ->
+      Pareto.Archive.create ~axes:[ px ] ~capacity:0 ())
+
+let test_archive_insert_basics () =
+  let a = Pareto.Archive.create ~axes:[ px; py ] () in
+  (match Pareto.Archive.insert a (mk 2.0 2.0 0.0) with
+  | Pareto.Archive.Added { removed = []; evicted = [] } -> ()
+  | _ -> Alcotest.fail "first insert should add cleanly");
+  (match Pareto.Archive.insert a (mk 3.0 3.0 0.0) with
+  | Pareto.Archive.Rejected -> ()
+  | _ -> Alcotest.fail "dominated insert should be rejected");
+  (match Pareto.Archive.insert a (mk 1.0 1.0 0.0) with
+  | Pareto.Archive.Added { removed = [ r ]; evicted = [] } ->
+    Helpers.check_true "displaced the dominated member"
+      (r.x = 2.0 && r.y = 2.0)
+  | _ -> Alcotest.fail "dominating insert should displace the member");
+  Helpers.check_int "one member" 1 (Pareto.Archive.size a);
+  let s = Pareto.Archive.stats a in
+  Helpers.check_int "inserts" 2 s.Pareto.Archive.inserts;
+  Helpers.check_int "rejects" 1 s.Pareto.Archive.rejects;
+  Helpers.check_int "removed" 1 s.Pareto.Archive.removed
+
+let test_archive_front_matches_front2 () =
+  let pts =
+    List.init 60 (fun i ->
+        let f = float_of_int i in
+        mk (Float.rem (f *. 7.3) 11.0) (Float.rem (f *. 3.7) 13.0) 0.0)
+  in
+  let a = Pareto.Archive.of_list ~axes:[ px; py ] pts in
+  Alcotest.(check (list (pair (float 1e-12) (float 1e-12))))
+    "archive front = front2"
+    (List.map (fun p -> (p.x, p.y)) (Pareto.front2 ~x:px ~y:py pts))
+    (List.map (fun p -> (p.x, p.y)) (Pareto.Archive.front a))
+
+let test_archive_eps_thins () =
+  (* at eps = 0.5, member (1,1) covers any point it is within 1.5x of
+     on both axes *)
+  let a = Pareto.Archive.create ~axes:[ px; py ] ~eps:0.5 () in
+  ignore (Pareto.Archive.insert a (mk 1.0 1.0 0.0));
+  (match Pareto.Archive.insert a (mk 1.4 1.4 0.0) with
+  | Pareto.Archive.Rejected -> ()
+  | _ -> Alcotest.fail "eps-dominated point should be rejected");
+  (match Pareto.Archive.insert a (mk 0.5 2.0 0.0) with
+  | Pareto.Archive.Added _ -> ()
+  | _ -> Alcotest.fail "point outside the eps box should be added");
+  Helpers.check_int "two members" 2 (Pareto.Archive.size a)
+
+let test_archive_capacity_evicts_crowded () =
+  let a = Pareto.Archive.create ~axes:[ px; py ] ~capacity:3 () in
+  (* four mutually non-dominated points; the crowded interior one goes,
+     never an extreme *)
+  List.iter
+    (fun p -> ignore (Pareto.Archive.insert a p))
+    [ mk 0.0 3.0 0.0; mk 1.0 2.0 0.0; mk 1.1 1.9 0.0; mk 3.0 0.0 0.0 ];
+  Helpers.check_int "capacity respected" 3 (Pareto.Archive.size a);
+  let f = Pareto.Archive.front a in
+  Helpers.check_true "extremes survive"
+    (List.exists (fun p -> p.x = 0.0) f && List.exists (fun p -> p.x = 3.0) f);
+  Helpers.check_int "one eviction counted" 1
+    (Pareto.Archive.stats a).Pareto.Archive.evicted
+
 let qcheck_front_members_not_dominated =
   let gen =
     QCheck.(list_of_size (Gen.int_range 1 40) (pair (float_bound_exclusive 100.0) (float_bound_exclusive 100.0)))
@@ -143,6 +229,17 @@ let suite =
       Alcotest.test_case "coverage full" `Quick test_coverage_full;
       Alcotest.test_case "coverage partial" `Quick test_coverage_partial;
       Alcotest.test_case "coverage empty ref" `Quick test_coverage_empty_reference;
+      Alcotest.test_case "coverage empty explored" `Quick
+        test_coverage_empty_explored;
+      Alcotest.test_case "archive create validates" `Quick
+        test_archive_create_validates;
+      Alcotest.test_case "archive insert basics" `Quick
+        test_archive_insert_basics;
+      Alcotest.test_case "archive front = front2" `Quick
+        test_archive_front_matches_front2;
+      Alcotest.test_case "archive eps thins" `Quick test_archive_eps_thins;
+      Alcotest.test_case "archive capacity evicts" `Quick
+        test_archive_capacity_evicts_crowded;
       QCheck_alcotest.to_alcotest qcheck_front_members_not_dominated;
       QCheck_alcotest.to_alcotest qcheck_front_covers_inputs;
     ] )
