@@ -24,6 +24,32 @@ let jobs = ref (Mx_util.Task_pool.default_jobs ())
    individual experiments (e.g. `cache`) as assertions, not just smoke. *)
 let failures = ref 0
 
+(* When set (--run-dir), every exploration the harness runs leaves a
+   manifest in the ledger, so bench trajectories become diffable
+   history ('conex runs diff') instead of CI-artifact-only JSON. *)
+let run_dir = ref None
+
+let record_manifest ~kind (r : Explore.result) =
+  Option.iter
+    (fun dir ->
+      let m =
+        Conex.Ledger.make ~kind
+          ~config_kv:
+            [
+              ("workload", r.Explore.workload.Mx_trace.Workload.name);
+              ("scale", string_of_int scale);
+              ("seed", "7");
+            ]
+          ~sched_kv:[ ("jobs", string_of_int !jobs) ]
+          ~result:r
+      in
+      match Conex.Ledger.save ~dir m with
+      | Ok path -> Printf.printf "run manifest written to %s\n" path
+      | Error e ->
+        incr failures;
+        Printf.printf "CHECK %-58s %s\n" ("ledger write: " ^ e) "FAIL")
+    !run_dir
+
 let check name ok =
   if not ok then incr failures;
   Printf.printf "CHECK %-58s %s\n" name (if ok then "PASS" else "FAIL")
@@ -51,6 +77,7 @@ let conex name =
     Json_out.record_experiment ~name:("explore:" ^ name)
       ~wall_seconds:r.Explore.wall_seconds ~n_estimates:r.Explore.n_estimates
       ~n_simulations:r.Explore.n_simulations;
+    record_manifest ~kind:("bench:explore:" ^ name) r;
     r
 
 (* -- Fig. 3: APEX memory-modules pareto for compress ------------------- *)

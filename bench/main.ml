@@ -12,7 +12,7 @@ let usage () =
   print_endline
     "usage: main.exe \
      [fig3|fig4|fig6|table1|table2|cache|events|replacement|shard|check|trace|ablation|micro|scaling|all]\n\
-    \       [--jobs N] [--json PATH]";
+    \       [--jobs N] [--json PATH] [--run-dir DIR]";
   exit 2
 
 let () =
@@ -21,6 +21,9 @@ let () =
     | [] -> ()
     | "--json" :: path :: rest ->
       json := Some path;
+      parse rest
+    | "--run-dir" :: dir :: rest ->
+      Experiments.run_dir := Some dir;
       parse rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with

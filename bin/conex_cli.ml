@@ -166,6 +166,69 @@ let chrome_out_arg =
   Arg.(
     value & opt (some string) None & info [ "chrome-out" ] ~docv:"FILE" ~doc)
 
+let status_out_arg =
+  let doc =
+    "Write a live status snapshot (phase, shard progress, eval throughput, \
+     cache hit rate, per-domain utilization, ETA, stall flag) to $(docv) on \
+     a cadence, atomically (write-temp + rename); read it any time with \
+     $(b,conex status)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "status-out" ] ~docv:"FILE" ~doc)
+
+let status_interval_arg =
+  let doc = "Seconds between status snapshot writes (with --status-out)." in
+  Arg.(value & opt float 1.0 & info [ "status-interval" ] ~docv:"SECONDS" ~doc)
+
+let stall_after_arg =
+  let doc =
+    "Seconds without a commit before the status snapshot reports the run as \
+     stalled (with --status-out)."
+  in
+  Arg.(value & opt float 30.0 & info [ "stall-after" ] ~docv:"SECONDS" ~doc)
+
+let run_dir_arg =
+  let doc =
+    "Record a versioned run manifest (config, workload fingerprint, final \
+     metrics, front summary, wall time, interrupted flag) into the ledger \
+     directory $(docv) when the run completes or is interrupted; inspect \
+     the ledger with $(b,conex runs list) and $(b,conex runs diff)."
+  in
+  Arg.(value & opt (some string) None & info [ "run-dir" ] ~docv:"DIR" ~doc)
+
+(* The snapshot and the manifest both read the eval.cache counters and
+   the task-pool busy histograms from the ambient registry, so any
+   telemetry sink implies metrics collection (without forcing the
+   --metrics report; runs after [metrics_begin], which resets). *)
+let status_begin status_out status_interval stall_after run_dir =
+  if status_interval <= 0.0 then
+    die_usage "--status-interval must be positive (got %g)" status_interval;
+  if stall_after <= 0.0 then
+    die_usage "--stall-after must be positive (got %g)" stall_after;
+  if status_out <> None || run_dir <> None then begin
+    let m = Mx_util.Metrics.global in
+    if not (Mx_util.Metrics.is_on m) then begin
+      Mx_util.Metrics.reset m;
+      Mx_util.Metrics.set_enabled m true
+    end
+  end;
+  Option.iter
+    (fun path ->
+      Mx_util.Snapshot.start ~interval:status_interval ~stall_after ~path ())
+    status_out
+
+let status_end status_out =
+  if status_out <> None then Mx_util.Snapshot.finish ()
+
+let ledger_record run_dir ~kind ~config_kv ~sched_kv result =
+  Option.iter
+    (fun dir ->
+      let m = Conex.Ledger.make ~kind ~config_kv ~sched_kv ~result in
+      match Conex.Ledger.save ~dir m with
+      | Ok path -> Printf.printf "run manifest written to %s\n" path
+      | Error e -> die_io "cannot write run manifest: %s" e)
+    run_dir
+
 (* Check every output path before any exploration work: a typo'd
    directory must fail in milliseconds (exit 2, a usage error), not
    after hours of simulation. *)
@@ -248,7 +311,14 @@ let metrics_end metrics trace_out chrome_out =
     match metrics with
     | Some `Text ->
       print_newline ();
-      print_string (Mx_util.Metrics.to_text m)
+      print_string (Mx_util.Metrics.to_text m);
+      let hits = Mx_util.Metrics.counter_value m "eval.cache.hits" in
+      let misses = Mx_util.Metrics.counter_value m "eval.cache.misses" in
+      let total = hits + misses in
+      Printf.printf "eval.cache: %d hits, %d misses (%.1f%% hit rate)\n" hits
+        misses
+        (if total = 0 then 0.0
+         else 100.0 *. float_of_int hits /. float_of_int total)
     | Some `Json ->
       print_newline ();
       print_string (Mx_util.Metrics.to_json m)
@@ -381,17 +451,18 @@ let config_with_policies config = function
 let explore_cmd =
   let run name scale seed reduced jobs shards cache_size policies scenario
       plot trace_in csv front_out bus_report metrics trace_out events_out
-      chrome_out =
+      chrome_out status_out status_interval stall_after run_dir =
     (* validate cheap inputs before hours of exploration *)
     let scenario = Option.map parse_scenario scenario in
     let policies = Option.map parse_policies policies in
     if trace_in = None then check_workload_name name;
     List.iter validate_out_path
-      [ csv; front_out; trace_out; events_out; chrome_out ];
+      [ csv; front_out; trace_out; events_out; chrome_out; status_out ];
     let w = resolve_workload name scale seed trace_in in
     Mx_sim.Eval.set_cache_capacity cache_size;
     metrics_begin metrics trace_out chrome_out;
     events_begin events_out chrome_out;
+    status_begin status_out status_interval stall_after run_dir;
     let config =
       config_with_policies (config_of_reduced ~shards reduced jobs) policies
     in
@@ -409,6 +480,28 @@ let explore_cmd =
         Some (fun () -> Atomic.get hit)
     in
     let r = Conex.Explore.run ~config ?interrupt w in
+    status_end status_out;
+    ledger_record run_dir ~kind:"explore"
+      ~config_kv:
+        [
+          ("workload", w.Mx_trace.Workload.name);
+          ("scale", string_of_int scale);
+          ("seed", string_of_int seed);
+          ("reduced", string_of_bool reduced);
+          ( "policies",
+            match policies with
+            | None -> "default"
+            | Some ps ->
+              String.concat ","
+                (List.map Mx_mem.Params.policy_to_string ps) );
+        ]
+      ~sched_kv:
+        [
+          ("jobs", string_of_int (max 1 jobs));
+          ("shards", string_of_int shards);
+          ("cache_size", string_of_int cache_size);
+        ]
+      r;
     Printf.printf
       "%s: %d estimates -> %d simulations -> %d pareto designs (%.1fs)%s\n\n"
       name r.Conex.Explore.n_estimates r.Conex.Explore.n_simulations
@@ -529,7 +622,8 @@ let explore_cmd =
       const run $ workload_arg $ scale_arg $ seed_arg $ reduced_arg $ jobs_arg
       $ shards_arg $ cache_size_arg $ policies_arg $ scenario_arg $ plot_arg
       $ trace_in_arg $ csv_arg $ front_out_arg $ bus_report_arg $ metrics_arg
-      $ trace_out_arg $ events_out_arg $ chrome_out_arg)
+      $ trace_out_arg $ events_out_arg $ chrome_out_arg $ status_out_arg
+      $ status_interval_arg $ stall_after_arg $ run_dir_arg)
 
 (* -- select: re-select from a saved CSV ---------------------------------- *)
 
@@ -593,15 +687,17 @@ let select_cmd =
 
 let strategies_cmd =
   let run name scale seed jobs shards full_budget cache_size metrics trace_out
-      events_out chrome_out =
+      events_out chrome_out status_out status_interval stall_after =
     check_workload_name name;
     if full_budget <= 0 then
       die_usage "--full-budget must be positive (got %d)" full_budget;
-    List.iter validate_out_path [ trace_out; events_out; chrome_out ];
+    List.iter validate_out_path
+      [ trace_out; events_out; chrome_out; status_out ];
     let w = make_workload name ~scale ~seed in
     Mx_sim.Eval.set_cache_capacity cache_size;
     metrics_begin metrics trace_out chrome_out;
     events_begin events_out chrome_out;
+    status_begin status_out status_interval stall_after None;
     let config = config_of_reduced ~shards true jobs in
     let full =
       try Conex.Strategy.run ~config ~full_budget Conex.Strategy.Full w
@@ -619,6 +715,7 @@ let strategies_cmd =
       [ Conex.Strategy.Pruned; Conex.Strategy.Neighborhood ];
     let rf = Conex.Coverage.eval ~reference:full full in
     Format.printf "%a@." Conex.Coverage.pp rf;
+    status_end status_out;
     events_end events_out chrome_out;
     metrics_end metrics trace_out chrome_out
   in
@@ -636,7 +733,8 @@ let strategies_cmd =
     Term.(
       const run $ workload_arg $ scale_arg $ seed_arg $ jobs_arg $ shards_arg
       $ full_budget_arg $ cache_size_arg $ metrics_arg $ trace_out_arg
-      $ events_out_arg $ chrome_out_arg)
+      $ events_out_arg $ chrome_out_arg $ status_out_arg
+      $ status_interval_arg $ stall_after_arg)
 
 (* -- explain: funnel reconstruction from a saved event log --------------- *)
 
@@ -644,9 +742,9 @@ let explain_cmd =
   let run events_path design =
     match Mx_util.Event_log.load_jsonl ~path:events_path with
     | Error msg -> die_io "cannot load events: %s" msg
-    | Ok events -> (
+    | Ok { Mx_util.Event_log.events; truncated } -> (
       match design with
-      | None -> print_string (Conex.Explain.summary events)
+      | None -> print_string (Conex.Explain.summary ~truncated events)
       | Some key -> (
         match Conex.Explain.lifecycle events ~key with
         | Ok s -> print_string s
@@ -673,6 +771,155 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:"Reconstruct an exploration funnel from a saved event log")
     Term.(const run $ events_in_arg $ design_arg)
+
+(* -- status: render a live status snapshot ------------------------------- *)
+
+let status_cmd =
+  let run path json =
+    let text =
+      try In_channel.with_open_text path In_channel.input_all
+      with Sys_error msg -> die_io "cannot read status file: %s" msg
+    in
+    match Mx_util.Snapshot.of_json text with
+    | Error msg -> die_io "cannot parse status file %s: %s" path msg
+    | Ok s ->
+      print_string
+        (if json then Mx_util.Snapshot.to_json s
+         else Mx_util.Snapshot.to_text s)
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Status snapshot written by 'explore --status-out'.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the snapshot document as JSON instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Render a live status snapshot (written on a cadence by a running \
+          'explore --status-out'): phase, shard progress with ETA, eval \
+          throughput, cache hit rate, per-domain utilization and the stall \
+          flag.  Reads are safe at any moment — snapshots are published \
+          atomically.")
+    Term.(const run $ file_arg $ json_arg)
+
+(* -- runs: the persistent run ledger ------------------------------------- *)
+
+let runs_list_cmd =
+  let run dir =
+    match Conex.Ledger.list ~dir with
+    | Error msg -> die_io "cannot list ledger %s: %s" dir msg
+    | Ok [] -> Printf.printf "no run manifests in %s\n" dir
+    | Ok entries ->
+      let t =
+        Mx_util.Table.create
+          ~headers:
+            [ "manifest"; "run id"; "kind"; "workload"; "wall [s]"; "front";
+              "cache hits"; "flags" ]
+      in
+      List.iter
+        (fun (name, (m : Conex.Ledger.manifest)) ->
+          Mx_util.Table.add_row t
+            [
+              name;
+              m.Conex.Ledger.run_id;
+              m.Conex.Ledger.kind;
+              m.Conex.Ledger.workload_name;
+              Printf.sprintf "%.2f" m.Conex.Ledger.wall_seconds;
+              string_of_int (List.length m.Conex.Ledger.front);
+              Printf.sprintf "%.1f%%" (100.0 *. Conex.Ledger.cache_hit_rate m);
+              (if m.Conex.Ledger.interrupted then "interrupted" else "");
+            ])
+        entries;
+      Mx_util.Table.print t
+  in
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:"Ledger directory populated by 'explore --run-dir'.")
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the run manifests in a ledger directory")
+    Term.(const run $ dir_arg)
+
+let runs_diff_cmd =
+  let run a_path b_path max_wall_ratio max_hit_drop min_front_coverage =
+    if max_wall_ratio <= 0.0 then
+      die_usage "--max-wall-ratio must be positive (got %g)" max_wall_ratio;
+    if min_front_coverage < 0.0 || min_front_coverage > 1.0 then
+      die_usage "--min-front-coverage must be in [0, 1] (got %g)"
+        min_front_coverage;
+    let load path =
+      match Conex.Ledger.load ~path with
+      | Ok m -> m
+      | Error msg -> die_io "cannot load manifest: %s" msg
+    in
+    let a = load a_path and b = load b_path in
+    let thresholds =
+      { Conex.Ledger.max_wall_ratio; max_hit_drop; min_front_coverage }
+    in
+    let d = Conex.Ledger.compare_runs ~thresholds a b in
+    print_string (Conex.Ledger.render_diff d);
+    if Conex.Ledger.regressed d then exit 1
+  in
+  let manifest_pos i name =
+    Arg.(
+      required
+      & pos i (some string) None
+      & info [] ~docv:name ~doc:("Run manifest " ^ name ^ " (a JSON file)."))
+  in
+  let max_wall_ratio_arg =
+    Arg.(
+      value & opt float 1.25
+      & info [ "max-wall-ratio" ] ~docv:"X"
+          ~doc:
+            "Flag a wall-time regression when B takes more than $(docv) \
+             times A's wall time.")
+  in
+  let max_hit_drop_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "max-hit-drop" ] ~docv:"PP"
+          ~doc:
+            "Flag a cache regression when B's hit rate drops more than \
+             $(docv) percentage points below A's.")
+  in
+  let min_front_coverage_arg =
+    Arg.(
+      value & opt float 0.99
+      & info [ "min-front-coverage" ] ~docv:"FRACTION"
+          ~doc:
+            "Flag a front regression when B's front covers (weakly \
+             dominates) less than this fraction of A's front points.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two run manifests and flag regressions (wall time, cache \
+          hit rate, front coverage) against thresholds.  Exits 1 when any \
+          threshold trips, 0 otherwise.")
+    Term.(
+      const run
+      $ manifest_pos 0 "A"
+      $ manifest_pos 1 "B"
+      $ max_wall_ratio_arg $ max_hit_drop_arg $ min_front_coverage_arg)
+
+let runs_cmd =
+  Cmd.group
+    (Cmd.info "runs"
+       ~doc:
+         "Inspect the persistent run ledger written by 'explore --run-dir' \
+          and the bench harness")
+    [ runs_list_cmd; runs_diff_cmd ]
 
 (* -- check: the model-based correctness harness -------------------------- *)
 
@@ -1021,7 +1268,7 @@ let main_cmd =
     (Cmd.info "conex" ~version:"1.0.0" ~doc)
     [
       profile_cmd; apex_cmd; explore_cmd; select_cmd; strategies_cmd;
-      explain_cmd; check_cmd; trace_cmd;
+      explain_cmd; status_cmd; runs_cmd; check_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -17,7 +17,7 @@ let value_to_string = function
 let abbrev ?(width = 24) k =
   if String.length k <= width then k else String.sub k 0 width ^ "..."
 
-let summary events =
+let summary ?(truncated = false) events =
   let count name =
     List.length (List.filter (fun (e : Ev.event) -> e.Ev.name = name) events)
   in
@@ -42,7 +42,8 @@ let summary events =
         Buffer.add_char b '\n')
       fmt
   in
-  line "Funnel summary (%d events)" (List.length events);
+  line "Funnel summary (%d events%s)" (List.length events)
+    (if truncated then ", truncated tail ignored" else "");
   (List.filter (fun (e : Ev.event) -> e.Ev.name = "strategy.begin") events
   |> List.iter (fun e ->
          line "  Strategy: %s" (Option.value ~default:"?" (attr_str e "kind"))));

@@ -7,12 +7,15 @@
     {e why did this particular design survive or die}
     ({!lifecycle}). *)
 
-val summary : Mx_util.Event_log.event list -> string
+val summary : ?truncated:bool -> Mx_util.Event_log.event list -> string
 (** Human-readable funnel reconstruction: cluster merges, assignment
     enumeration (levels, cap-pruned, duplicates), Phase I verdicts
     (created / kept / thinned / dominated), Phase II simulations,
     refinements, per-scenario selections, strategy outcomes, and —
-    marked as schedule-dependent — the cache provenance mix. *)
+    marked as schedule-dependent — the cache provenance mix.
+    [truncated:true] (a tail-truncated log, see
+    {!Mx_util.Event_log.load_jsonl}) adds a one-line notice to the
+    header. *)
 
 val lifecycle :
   Mx_util.Event_log.event list -> key:string -> (string, string) result

@@ -179,12 +179,14 @@ let phase1 ?(interrupt = never) cfg workload cands =
       planned
   in
   let n_shards = List.length queue in
+  Mx_util.Snapshot.add_shards_planned n_shards;
   let slices = Array.make (max 1 n_shards) [] in
   let committed =
     Mx_util.Task_pool.parallel_map_commit ~jobs:cfg.jobs ~chunk:1
       ~should_stop:interrupt
       ~commit:(fun i (_, shard) conns ->
         slices.(i) <- conns;
+        Mx_util.Snapshot.shard_committed ();
         Mx_util.Metrics.incr metrics "shard.finished";
         if Ev.is_on Ev.global then
           Ev.emit Ev.global ~stage:"shard" "shard.finished"
@@ -296,6 +298,7 @@ let phase1 ?(interrupt = never) cfg workload cands =
                pairs
            end;
            let ests = List.map (fun (d, _, _) -> d) pairs in
+           Mx_util.Snapshot.eval_committed ~by:(List.length ests) ();
            Mx_util.Metrics.incr metrics ~by:(List.length ests)
              "explore.estimates";
            ests)
@@ -381,6 +384,8 @@ let evaluate_designs cfg workload ~stage ~fidelity ?(interrupt = never)
             ]
         end;
         Option.iter (fun a -> archive_insert a d) archive;
+        Mx_util.Snapshot.eval_committed
+          ?archive:(Option.map Pareto.Archive.size archive) ();
         acc := d :: !acc)
       (fun (d : Design.t) ->
         let sim, prov =
@@ -399,6 +404,7 @@ let run ?(config = default_config) ?(interrupt = never) workload =
   @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let apex_selected =
+    Mx_util.Snapshot.set_phase "apex.select";
     Mx_util.Metrics.with_span metrics "apex.select" (fun () ->
         let profile = Mx_trace.Profile.analyze workload in
         Mx_apex.Explore.select ~config:config.apex profile)
@@ -409,6 +415,7 @@ let run ?(config = default_config) ?(interrupt = never) workload =
      memory architecture runs on the task pool; merge, dedup and the
      estimate fan-out happen per architecture in deterministic order. *)
   let per_arch =
+    Mx_util.Snapshot.set_phase "explore.phase1";
     Mx_util.Metrics.with_span metrics "explore.phase1" (fun () ->
         phase1 ~interrupt config workload apex_selected)
   in
@@ -416,6 +423,7 @@ let run ?(config = default_config) ?(interrupt = never) workload =
   | None ->
     (* interrupted while the shard queue was draining: there are no
        simulated designs yet, so the valid anytime front is empty *)
+    Mx_util.Snapshot.set_phase "interrupted";
     {
       workload;
       apex_selected;
@@ -436,6 +444,7 @@ let run ?(config = default_config) ?(interrupt = never) workload =
        committed prefix *)
     let archive = make_archive config in
     let simulated =
+      Mx_util.Snapshot.set_phase "explore.phase2";
       Mx_util.Metrics.with_span metrics "explore.phase2" (fun () ->
           let sims =
             evaluate_designs config workload ~stage:"phase2"
@@ -452,6 +461,7 @@ let run ?(config = default_config) ?(interrupt = never) workload =
     let simulated, pareto_cost_perf, interrupted =
       match config.sample with
       | Some _ when config.refine_top > 0 && not phase2_interrupted ->
+        Mx_util.Snapshot.set_phase "explore.refine";
         Mx_util.Metrics.with_span metrics "explore.refine" (fun () ->
             let front = Pareto.Archive.front archive in
             let to_refine =
@@ -500,6 +510,7 @@ let run ?(config = default_config) ?(interrupt = never) workload =
             (spliced, Pareto.Archive.front replay, refine_interrupted))
       | _ -> (simulated, Pareto.Archive.front archive, phase2_interrupted)
     in
+    Mx_util.Snapshot.set_phase (if interrupted then "interrupted" else "done");
     Mx_util.Metrics.incr metrics ~by:(List.length pareto_cost_perf)
       "explore.pareto_points";
     if Ev.is_on Ev.global then

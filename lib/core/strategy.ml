@@ -92,6 +92,8 @@ let run ?(config = Explore.default_config) ?(neighbors = 2)
     ("strategy." ^ String.lowercase_ascii (kind_to_string kind))
   @@ fun () ->
   let t0 = Unix.gettimeofday () in
+  Mx_util.Snapshot.set_phase
+    ("strategy." ^ String.lowercase_ascii (kind_to_string kind));
   if Ev.is_on Ev.global then
     Ev.emit Ev.global ~stage:"strategy" "strategy.begin"
       [ ("kind", Ev.Str (String.lowercase_ascii (kind_to_string kind))) ];

@@ -164,22 +164,8 @@ let deterministic_events evs =
 
 (* -- JSONL rendering ------------------------------------------------------ *)
 
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let json_float v =
-  if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+let escape = Json.escape
+let json_float = Json.number
 
 let value_to_json = function
   | Str s -> "\"" ^ escape s ^ "\""
@@ -222,209 +208,52 @@ let canonical_dump evs =
     (deterministic_events evs);
   Buffer.contents b
 
-(* -- JSONL parsing -------------------------------------------------------- *)
-
-(* A minimal JSON reader, enough to read back what line_of_event (and
-   hand-edited logs in the same shape) produce. *)
-type json =
-  | Jnull
-  | Jbool of bool
-  | Jnum of float
-  | Jstr of string
-  | Jarr of json list
-  | Jobj of (string * json) list
-
-exception Parse of string
-
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let bad fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let skip_ws () =
-    while
-      !pos < n
-      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-    do
-      incr pos
-    done
-  in
-  let expect c =
-    match peek () with
-    | Some x when x = c -> incr pos
-    | Some x -> bad "expected %C at %d, got %C" c !pos x
-    | None -> bad "expected %C at %d, got end of input" c !pos
-  in
-  let literal word v =
-    String.iter expect word;
-    v
-  in
-  let string_lit () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let closed = ref false in
-    while not !closed do
-      match peek () with
-      | None -> bad "unterminated string at %d" !pos
-      | Some '"' ->
-        incr pos;
-        closed := true
-      | Some '\\' -> (
-        incr pos;
-        match peek () with
-        | Some '"' -> incr pos; Buffer.add_char b '"'
-        | Some '\\' -> incr pos; Buffer.add_char b '\\'
-        | Some '/' -> incr pos; Buffer.add_char b '/'
-        | Some 'b' -> incr pos; Buffer.add_char b '\b'
-        | Some 'f' -> incr pos; Buffer.add_char b '\012'
-        | Some 'n' -> incr pos; Buffer.add_char b '\n'
-        | Some 'r' -> incr pos; Buffer.add_char b '\r'
-        | Some 't' -> incr pos; Buffer.add_char b '\t'
-        | Some 'u' ->
-          incr pos;
-          if !pos + 4 > n then bad "bad \\u escape at %d" !pos;
-          let hex = String.sub s !pos 4 in
-          let code =
-            match int_of_string_opt ("0x" ^ hex) with
-            | Some c -> c
-            | None -> bad "bad \\u escape at %d" !pos
-          in
-          pos := !pos + 4;
-          (* the emitter only escapes control chars this way *)
-          if code < 0x80 then Buffer.add_char b (Char.chr code)
-          else Buffer.add_string b (Printf.sprintf "\\u%04x" code)
-        | _ -> bad "bad escape at %d" !pos)
-      | Some c ->
-        incr pos;
-        Buffer.add_char b c
-    done;
-    Buffer.contents b
-  in
-  let number () =
-    let start = !pos in
-    if peek () = Some '-' then incr pos;
-    let digits_or_dot () =
-      while
-        !pos < n
-        &&
-        match s.[!pos] with
-        | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
-        | _ -> false
-      do
-        incr pos
-      done
-    in
-    digits_or_dot ();
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> bad "bad number at %d" start
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-      incr pos;
-      skip_ws ();
-      if peek () = Some '}' then begin
-        incr pos;
-        Jobj []
-      end
-      else begin
-        let fields = ref [] in
-        let continue = ref true in
-        while !continue do
-          skip_ws ();
-          let k = string_lit () in
-          skip_ws ();
-          expect ':';
-          let v = value () in
-          fields := (k, v) :: !fields;
-          skip_ws ();
-          match peek () with
-          | Some ',' -> incr pos
-          | Some '}' ->
-            incr pos;
-            continue := false
-          | _ -> bad "expected ',' or '}' at %d" !pos
-        done;
-        Jobj (List.rev !fields)
-      end
-    | Some '[' ->
-      incr pos;
-      skip_ws ();
-      if peek () = Some ']' then begin
-        incr pos;
-        Jarr []
-      end
-      else begin
-        let items = ref [] in
-        let continue = ref true in
-        while !continue do
-          items := value () :: !items;
-          skip_ws ();
-          match peek () with
-          | Some ',' -> incr pos
-          | Some ']' ->
-            incr pos;
-            continue := false
-          | _ -> bad "expected ',' or ']' at %d" !pos
-        done;
-        Jarr (List.rev !items)
-      end
-    | Some '"' -> Jstr (string_lit ())
-    | Some 't' -> literal "true" (Jbool true)
-    | Some 'f' -> literal "false" (Jbool false)
-    | Some 'n' -> literal "null" Jnull
-    | Some ('-' | '0' .. '9') -> Jnum (number ())
-    | Some c -> bad "unexpected %C at %d" c !pos
-    | None -> bad "unexpected end of input at %d" !pos
-  in
-  let v = value () in
-  skip_ws ();
-  if !pos <> n then bad "trailing garbage at %d" !pos;
-  v
+(* -- JSONL parsing (via the shared Mx_util.Json reader) ------------------- *)
 
 let event_of_line line =
-  match parse_json line with
-  | exception Parse m -> Error m
-  | Jobj fields ->
+  match Json.parse line with
+  | Error m -> Error m
+  | Ok (Json.Obj fields) ->
     let str k =
       match List.assoc_opt k fields with
-      | Some (Jstr s) -> Ok s
+      | Some (Json.Str s) -> Ok s
       | _ -> Error (Printf.sprintf "missing or non-string %S field" k)
     in
     let ( let* ) r f = Result.bind r f in
     let* stage = str "stage" in
     let* name = str "event" in
     let* seq =
-      match List.assoc_opt "seq" fields with
-      | Some (Jnum f) -> Ok (int_of_float f)
-      | _ -> Error "missing or non-numeric \"seq\" field"
+      match Option.bind (List.assoc_opt "seq" fields) Json.to_int_opt with
+      | Some s -> Ok s
+      | None -> Error "missing or non-numeric \"seq\" field"
     in
     let t_ms =
-      match List.assoc_opt "t_ms" fields with Some (Jnum f) -> f | _ -> 0.0
+      match List.assoc_opt "t_ms" fields with
+      | Some (Json.Num f) -> f
+      | _ -> 0.0
     in
     let* attrs =
       match List.assoc_opt "attrs" fields with
       | None -> Ok []
-      | Some (Jobj kvs) ->
+      | Some (Json.Obj kvs) ->
         let rec convert acc = function
           | [] -> Ok (List.rev acc)
           | (k, v) :: rest -> (
             match v with
-            | Jstr s -> convert ((k, Str s) :: acc) rest
-            | Jbool b -> convert ((k, Bool b) :: acc) rest
-            | Jnum f when Float.is_integer f && Float.abs f < 1e15 ->
+            | Json.Str s -> convert ((k, Str s) :: acc) rest
+            | Json.Bool b -> convert ((k, Bool b) :: acc) rest
+            | Json.Num f when Float.is_integer f && Float.abs f < 1e15 ->
               convert ((k, Int (int_of_float f)) :: acc) rest
-            | Jnum f -> convert ((k, Float f) :: acc) rest
-            | _ ->
-              Error (Printf.sprintf "attr %S is not a scalar" k))
+            | Json.Num f -> convert ((k, Float f) :: acc) rest
+            | _ -> Error (Printf.sprintf "attr %S is not a scalar" k))
         in
         convert [] kvs
       | Some _ -> Error "\"attrs\" is not an object"
     in
     Ok { stage; seq; name; attrs; t_ms }
-  | _ -> Error "event line is not a JSON object"
+  | Ok _ -> Error "event line is not a JSON object"
+
+type loaded = { events : event list; truncated : bool }
 
 let load_jsonl ~path =
   match open_in path with
@@ -433,16 +262,28 @@ let load_jsonl ~path =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
+        (* A parse error on the file's last non-blank line is the
+           signature of a run that died mid-write; tolerate exactly
+           that (reporting [truncated = true]) and fail on anything
+           earlier — a corrupt middle means the file is not a tail-
+           truncated log but a damaged one. *)
         let rec go lineno acc =
           match input_line ic with
-          | exception End_of_file -> Ok (List.rev acc)
+          | exception End_of_file -> Ok { events = List.rev acc; truncated = false }
           | line ->
             if String.trim line = "" then go (lineno + 1) acc
             else (
               match event_of_line line with
               | Ok e -> go (lineno + 1) (e :: acc)
               | Error m ->
-                Error (Printf.sprintf "%s: line %d: %s" path lineno m))
+                let rec rest_blank () =
+                  match input_line ic with
+                  | exception End_of_file -> true
+                  | l -> String.trim l = "" && rest_blank ()
+                in
+                if rest_blank () then
+                  Ok { events = List.rev acc; truncated = true }
+                else Error (Printf.sprintf "%s: line %d: %s" path lineno m))
         in
         go 1 [])
 

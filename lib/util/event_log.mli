@@ -122,9 +122,20 @@ val event_of_line : string -> (event, string) result
 (** Parse one JSONL line back into an event (inverse of
     {!line_of_event}; a missing ["t_ms"] reads as [0.]). *)
 
-val load_jsonl : path:string -> (event list, string) result
-(** Read a file of JSONL events; blank lines are skipped.  [Error]
-    carries an I/O or parse diagnostic including the line number. *)
+type loaded = {
+  events : event list;
+  truncated : bool;
+      (** the file's final non-blank line failed to parse and was
+          dropped — the tail of a run that died mid-write *)
+}
+
+val load_jsonl : path:string -> (loaded, string) result
+(** Read a file of JSONL events; blank lines are skipped.  A parse
+    failure on the {e final} non-blank line is tolerated (the event is
+    dropped and [truncated] is reported true) so the log of a run killed
+    mid-write stays readable; a failure on any earlier line is an
+    [Error], as is an I/O problem — both diagnostics carry the line
+    number. *)
 
 (** {1 Chrome trace exporter} *)
 

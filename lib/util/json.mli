@@ -1,0 +1,44 @@
+(** A minimal JSON value, reader and rendering helpers, shared by every
+    observability format in the repo: the event-log JSONL lines
+    ({!Event_log}), the metrics document ({!Metrics.to_json}), the live
+    status snapshots ({!Snapshot}) and the run-ledger manifests
+    ([Conex.Ledger]).
+
+    The reader accepts exactly the JSON these emitters produce (objects,
+    arrays, strings, finite numbers, booleans, null, the standard
+    escapes) — it is a round-trip companion, not a general validator.
+    Duplicate object keys are kept in document order; {!member} returns
+    the first. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document; [Error] carries a position-tagged
+    diagnostic.  Trailing garbage after the document is an error. *)
+
+(** {1 Accessors} — all total, [None]/default on shape mismatch. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]; [None] otherwise. *)
+
+val to_string_opt : t -> string option
+val to_float_opt : t -> float option
+val to_bool_opt : t -> bool option
+
+val to_int_opt : t -> int option
+(** [Num] values that are integral and safely representable. *)
+
+(** {1 Rendering helpers} *)
+
+val escape : string -> string
+(** Escape a string's content for inclusion between double quotes:
+    ["\""], ["\\"], newline and the other control characters. *)
+
+val number : float -> string
+(** Finite floats as short decimals (%.6g); inf/nan render as [null]. *)

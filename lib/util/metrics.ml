@@ -11,6 +11,23 @@ type hist = {
   sum : float;
   min_v : float;
   max_v : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+(* The accumulator behind a histogram keeps every sample so the
+   snapshot can report exact nearest-rank percentiles.  Observation is
+   per-chunk / per-shard — coarse by design (see the header comment) —
+   so retention is a few thousand floats per run, not per-access
+   volume. *)
+type hist_acc = {
+  a_unit : string;
+  mutable a_count : int;
+  mutable a_sum : float;
+  mutable a_min : float;
+  mutable a_max : float;
+  mutable a_samples : float list;  (* newest first *)
 }
 
 type span = {
@@ -32,7 +49,7 @@ type t = {
   mu : Mutex.t;
   counters : (string, int Atomic.t) Hashtbl.t;
   gauges : (string, float) Hashtbl.t;
-  histograms : (string, hist) Hashtbl.t;
+  histograms : (string, hist_acc) Hashtbl.t;
   mutable roots : span list;  (* reversed *)
   mutable epoch : float;  (* creation/reset instant; span starts are
                              reported relative to it *)
@@ -99,21 +116,22 @@ let set_gauge t name v =
 let observe t ?(unit_ = "") name v =
   if Atomic.get t.on then begin
     Mutex.lock t.mu;
-    let h =
+    let a =
       match Hashtbl.find_opt t.histograms name with
-      | Some h -> h
+      | Some a -> a
       | None ->
-        { h_unit = unit_; count = 0; sum = 0.0; min_v = infinity;
-          max_v = neg_infinity }
+        let a =
+          { a_unit = unit_; a_count = 0; a_sum = 0.0; a_min = infinity;
+            a_max = neg_infinity; a_samples = [] }
+        in
+        Hashtbl.add t.histograms name a;
+        a
     in
-    Hashtbl.replace t.histograms name
-      {
-        h with
-        count = h.count + 1;
-        sum = h.sum +. v;
-        min_v = Float.min h.min_v v;
-        max_v = Float.max h.max_v v;
-      };
+    a.a_count <- a.a_count + 1;
+    a.a_sum <- a.a_sum +. v;
+    a.a_min <- Float.min a.a_min v;
+    a.a_max <- Float.max a.a_max v;
+    a.a_samples <- v :: a.a_samples;
     Mutex.unlock t.mu
   end
 
@@ -155,13 +173,28 @@ let sorted_bindings tbl value =
   Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* Called with [t.mu] held.  Percentiles are exact nearest-rank over the
+   retained samples (Stats.percentile is total: None only when empty). *)
+let hist_of_acc a =
+  let pct p = Option.value ~default:0.0 (Stats.percentile a.a_samples ~p) in
+  {
+    h_unit = a.a_unit;
+    count = a.a_count;
+    sum = a.a_sum;
+    min_v = a.a_min;
+    max_v = a.a_max;
+    p50 = pct 50.0;
+    p95 = pct 95.0;
+    p99 = pct 99.0;
+  }
+
 let snapshot t =
   Mutex.lock t.mu;
   let s =
     {
       counters = sorted_bindings t.counters Atomic.get;
       gauges = sorted_bindings t.gauges Fun.id;
-      histograms = sorted_bindings t.histograms Fun.id;
+      histograms = sorted_bindings t.histograms hist_of_acc;
       spans = List.rev t.roots;
     }
   in
@@ -221,11 +254,13 @@ let to_text t =
   section "histograms"
     (List.map
        (fun (k, h) ->
-         Printf.sprintf "%-46s n=%d sum=%.6g min=%.6g max=%.6g mean=%.6g %s" k
-           h.count h.sum
+         Printf.sprintf
+           "%-46s n=%d sum=%.6g min=%.6g max=%.6g mean=%.6g p50=%.6g \
+            p95=%.6g p99=%.6g %s"
+           k h.count h.sum
            (if h.count = 0 then 0.0 else h.min_v)
            (if h.count = 0 then 0.0 else h.max_v)
-           (hist_mean h) h.h_unit)
+           (hist_mean h) h.p50 h.p95 h.p99 h.h_unit)
        s.histograms);
   (if s.spans <> [] then begin
      Buffer.add_string b "spans:\n";
@@ -240,22 +275,8 @@ let to_text t =
    end);
   Buffer.contents b
 
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let json_float v =
-  if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+let escape = Json.escape
+let json_float = Json.number
 
 let to_json t =
   let s = snapshot t in
@@ -277,11 +298,12 @@ let to_json t =
   obj "histograms" s.histograms (fun h ->
       Printf.sprintf
         "{\"unit\": \"%s\", \"count\": %d, \"sum\": %s, \"min\": %s, \"max\": \
-         %s, \"mean\": %s}"
+         %s, \"mean\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s}"
         (escape h.h_unit) h.count (json_float h.sum)
         (json_float (if h.count = 0 then 0.0 else h.min_v))
         (json_float (if h.count = 0 then 0.0 else h.max_v))
-        (json_float (hist_mean h)));
+        (json_float (hist_mean h)) (json_float h.p50) (json_float h.p95)
+        (json_float h.p99));
   Buffer.add_string b ",\n  \"spans\": [";
   let rec span_json (sp : span) =
     Printf.sprintf

@@ -48,9 +48,11 @@ val set_gauge : t -> string -> float -> unit
 (** Set the named gauge (last write wins). *)
 
 val observe : t -> ?unit_:string -> string -> float -> unit
-(** Record one sample into the named histogram (count/sum/min/max).
-    [unit_] labels the sample dimension, e.g. ["s"], ["cycles"],
-    ["designs"]; it is fixed by the first observation. *)
+(** Record one sample into the named histogram
+    (count/sum/min/max/percentiles).  [unit_] labels the sample
+    dimension, e.g. ["s"], ["cycles"], ["designs"]; it is fixed by the
+    first observation.  Samples are retained for exact percentiles —
+    observe per chunk or per shard, never per access. *)
 
 val with_span : t -> string -> (unit -> 'a) -> 'a
 (** [with_span t name f] times [f ()] as a span.  Spans opened while
@@ -67,6 +69,10 @@ type hist = {
   sum : float;
   min_v : float;  (** +inf when [count = 0] *)
   max_v : float;  (** -inf when [count = 0] *)
+  p50 : float;  (** nearest-rank percentiles over every recorded
+                    sample; 0 when [count = 0] *)
+  p95 : float;
+  p99 : float;
 }
 
 type span = {
@@ -110,7 +116,8 @@ val to_json : t -> string
     { "counters":   {"name": int, ...},
       "gauges":     {"name": float, ...},
       "histograms": {"name": {"unit": s, "count": n, "sum": x,
-                              "min": x, "max": x, "mean": x}, ...},
+                              "min": x, "max": x, "mean": x,
+                              "p50": x, "p95": x, "p99": x}, ...},
       "spans":      [{"name": s, "start": x, "seconds": x,
                       "children": [...]}, ...] }
     v}

@@ -362,6 +362,159 @@ let test_check_list () =
         (Test_metrics.contains ~needle out))
     [ "pareto"; "sim"; "explore" ]
 
+(* -- live telemetry and the run ledger ----------------------------------- *)
+
+let slurp_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_status_out_and_status_cmd () =
+  let path = Filename.temp_file "conex_status" ".json" in
+  let r = run_conex ([ "explore"; "-w"; "mixed"; "--status-out"; path ] @ fast) in
+  check_exit "explore --status-out" 0 r;
+  (* the final snapshot records the completed run *)
+  let ((_, out, _) as r2) = run_conex [ "status"; path ] in
+  check_exit "status renders the file" 0 r2;
+  List.iter
+    (fun needle ->
+      Helpers.check_true
+        (Printf.sprintf "status mentions %s" needle)
+        (Test_metrics.contains ~needle out))
+    [ "done"; "shards"; "evals" ];
+  let ((_, out, _) as r3) = run_conex [ "status"; path; "--json" ] in
+  check_exit "status --json" 0 r3;
+  Test_metrics.check_json "status --json document" out;
+  (match Mx_util.Snapshot.of_json out with
+  | Ok s ->
+    Helpers.check_true "final snapshot shows progress"
+      (s.Mx_util.Snapshot.progress.Mx_util.Snapshot.evals_committed > 0)
+  | Error m -> Alcotest.failf "status --json unparseable: %s" m);
+  Sys.remove path
+
+let test_status_missing_file () =
+  let r = run_conex [ "status"; "/nonexistent/conex-status.json" ] in
+  check_exit "missing status file is an I/O error" 1 r;
+  check_no_internal_error r
+
+let test_bad_status_interval () =
+  List.iter
+    (fun flag ->
+      let r =
+        run_conex
+          ([ "explore"; "-w"; "mixed"; "--status-out"; "/dev/null"; flag; "0" ]
+          @ fast)
+      in
+      check_exit (flag ^ "=0 is a usage error") 2 r;
+      check_no_internal_error r)
+    [ "--status-interval"; "--stall-after" ]
+
+let with_run_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "conex_runs_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun n -> try Sys.remove (Filename.concat dir n) with _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with _ -> ()
+      end)
+    (fun () -> f dir)
+
+let test_run_dir_and_runs () =
+  with_run_dir (fun dir ->
+      let explore () =
+        run_conex ([ "explore"; "-w"; "mixed"; "--run-dir"; dir ] @ fast)
+      in
+      let ((_, out, _) as r1) = explore () in
+      check_exit "first --run-dir explore" 0 r1;
+      Helpers.check_true "announces the manifest"
+        (Test_metrics.contains ~needle:"run manifest written to" out);
+      check_exit "second --run-dir explore" 0 (explore ());
+      let manifests =
+        Sys.readdir dir |> Array.to_list |> List.sort compare
+        |> List.map (Filename.concat dir)
+      in
+      Helpers.check_int "two manifests recorded" 2 (List.length manifests);
+      let a, b =
+        match manifests with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      (* runs list renders both *)
+      let ((_, out, _) as rl) = run_conex [ "runs"; "list"; dir ] in
+      check_exit "runs list" 0 rl;
+      List.iter
+        (fun needle ->
+          Helpers.check_true
+            (Printf.sprintf "listing mentions %s" needle)
+            (Test_metrics.contains ~needle out))
+        [ "explore"; "mixed"; Filename.basename a; Filename.basename b ];
+      (* identical seeded runs: no regression.  Wall time on sub-second
+         runs jitters, so give it headroom; hits and front must match
+         exactly under the default thresholds. *)
+      check_exit "diff of an identical pair" 0
+        (run_conex [ "runs"; "diff"; a; b; "--max-wall-ratio"; "1000" ]);
+      (* inject a wall-time regression into a copy of B *)
+      let slow = Filename.concat dir "run-injected-slow.json" in
+      let doc =
+        slurp_file b |> String.split_on_char '\n'
+        |> List.map (fun l ->
+               if Test_metrics.contains ~needle:"\"wall_seconds\"" l then
+                 " \"timing\": {\"wall_seconds\": 9999.0},"
+               else l)
+        |> String.concat "\n"
+      in
+      Out_channel.with_open_text slow (fun oc ->
+          Out_channel.output_string oc doc);
+      let ((_, out, _) as rd) = run_conex [ "runs"; "diff"; a; slow ] in
+      check_exit "injected wall-time regression exits 1" 1 rd;
+      Helpers.check_true "verdict says REGRESSION"
+        (Test_metrics.contains ~needle:"REGRESSION" out);
+      check_no_internal_error rd;
+      (* thresholds are validated *)
+      let rt =
+        run_conex [ "runs"; "diff"; a; b; "--max-wall-ratio"; "0" ]
+      in
+      check_exit "non-positive threshold exits 2" 2 rt;
+      check_no_internal_error rt)
+
+let test_runs_list_empty () =
+  with_run_dir (fun dir ->
+      let ((_, out, _) as r) = run_conex [ "runs"; "list"; dir ] in
+      check_exit "runs list on an absent dir" 0 r;
+      Helpers.check_true "says the ledger is empty"
+        (Test_metrics.contains ~needle:"no run manifests" out))
+
+let test_metrics_text_cache_line () =
+  let ((_, out, _) as r) =
+    run_conex ([ "explore"; "-w"; "mixed"; "--metrics"; "text" ] @ fast)
+  in
+  check_exit "explore --metrics text" 0 r;
+  Helpers.check_true "derived cache summary present"
+    (Test_metrics.contains ~needle:"eval.cache:" out);
+  Helpers.check_true "hit rate rendered"
+    (Test_metrics.contains ~needle:"hit rate" out)
+
+let test_explain_truncated_tail () =
+  let path = Filename.temp_file "conex_events" ".jsonl" in
+  let r = run_conex ([ "explore"; "-w"; "mixed"; "--events-out"; path ] @ fast) in
+  check_exit "explore --events-out" 0 r;
+  (* simulate a run killed mid-write *)
+  let oc = open_out_gen [ Open_append; Open_text ] 0o644 path in
+  output_string oc "{\"stage\": \"phase2\", \"se";
+  close_out oc;
+  let ((_, out, _) as r2) = run_conex [ "explain"; "--events"; path ] in
+  check_exit "explain tolerates the damaged tail" 0 r2;
+  Helpers.check_true "summary flags the truncation"
+    (Test_metrics.contains ~needle:"truncated tail ignored" out);
+  Helpers.check_true "funnel still reconstructed"
+    (Test_metrics.contains ~needle:"Phase I" out);
+  Sys.remove path
+
 let suite =
   ( "cli",
     [
@@ -406,4 +559,17 @@ let suite =
         test_check_unknown_suite;
       Alcotest.test_case "check bad count exits 2" `Quick test_check_bad_count;
       Alcotest.test_case "check --list exits 0" `Quick test_check_list;
+      Alcotest.test_case "--status-out + status" `Slow
+        test_status_out_and_status_cmd;
+      Alcotest.test_case "status missing file exits 1" `Quick
+        test_status_missing_file;
+      Alcotest.test_case "bad status cadence exits 2" `Quick
+        test_bad_status_interval;
+      Alcotest.test_case "--run-dir + runs list/diff" `Slow
+        test_run_dir_and_runs;
+      Alcotest.test_case "runs list empty ledger" `Quick test_runs_list_empty;
+      Alcotest.test_case "--metrics text cache summary" `Slow
+        test_metrics_text_cache_line;
+      Alcotest.test_case "explain truncated tail" `Slow
+        test_explain_truncated_tail;
     ] )

@@ -128,6 +128,56 @@ let test_jsonl_roundtrip () =
   | Ok _ -> Alcotest.fail "parsed a non-event"
   | Error _ -> ()
 
+(* -- unit: loading event files with damaged tails ------------------------- *)
+
+let with_jsonl_file content f =
+  let path = Filename.temp_file "conex_events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc content);
+      f path)
+
+let valid_lines () =
+  let t = Ev.create ~enabled:true () in
+  Ev.emit t ~stage:"phase1" "design.created" [ ("design", Ev.Str "a") ];
+  Ev.emit t ~stage:"phase1" "design.kept" [ ("design", Ev.Str "a") ];
+  Ev.emit t ~stage:"phase2" "design.evaluated" [ ("design", Ev.Str "a") ];
+  Ev.to_jsonl t
+
+let test_load_clean_file () =
+  with_jsonl_file (valid_lines ()) (fun path ->
+      match Ev.load_jsonl ~path with
+      | Error m -> Alcotest.failf "clean file rejected: %s" m
+      | Ok { Ev.events; truncated } ->
+        Helpers.check_int "all events loaded" 3 (List.length events);
+        Helpers.check_true "not truncated" (not truncated))
+
+let test_load_truncated_tail () =
+  (* a run killed mid-write leaves a partial final line *)
+  let damaged = valid_lines () ^ "{\"stage\": \"phase2\", \"se" in
+  with_jsonl_file damaged (fun path ->
+      match Ev.load_jsonl ~path with
+      | Error m -> Alcotest.failf "truncated tail rejected: %s" m
+      | Ok { Ev.events; truncated } ->
+        Helpers.check_int "complete events kept" 3 (List.length events);
+        Helpers.check_true "flagged truncated" truncated)
+
+let test_load_corrupt_middle () =
+  let lines = String.split_on_char '\n' (valid_lines ()) in
+  let damaged =
+    match lines with
+    | first :: rest -> String.concat "\n" ((first ^ "garbage") :: rest)
+    | [] -> assert false
+  in
+  with_jsonl_file damaged (fun path ->
+      match Ev.load_jsonl ~path with
+      | Ok _ -> Alcotest.fail "corruption before the tail must be an error"
+      | Error m ->
+        Helpers.check_true "error names the line"
+          (Test_metrics.contains ~needle:"line 1" m))
+
 let test_canonical_dump_strips_time () =
   let evs_at t_ms =
     [
@@ -303,6 +353,11 @@ let suite =
         test_schedule_dependent;
       Alcotest.test_case "canonical sort" `Quick test_canonical_sort;
       Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+      Alcotest.test_case "load clean file" `Quick test_load_clean_file;
+      Alcotest.test_case "load tolerates truncated tail" `Quick
+        test_load_truncated_tail;
+      Alcotest.test_case "load rejects corrupt middle" `Quick
+        test_load_corrupt_middle;
       Alcotest.test_case "canonical dump strips time" `Quick
         test_canonical_dump_strips_time;
       Alcotest.test_case "chrome trace" `Quick test_chrome_trace;

@@ -211,8 +211,33 @@ let test_histograms () =
     Helpers.check_float "min" 1.0 h.Metrics.min_v;
     Helpers.check_float "max" 5.0 h.Metrics.max_v;
     Helpers.check_true "unit fixed by first observation"
-      (h.Metrics.h_unit = "cycles")
+      (h.Metrics.h_unit = "cycles");
+    (* nearest-rank on [1;3;5] *)
+    Helpers.check_float "p50" 3.0 h.Metrics.p50;
+    Helpers.check_float "p95" 5.0 h.Metrics.p95;
+    Helpers.check_float "p99" 5.0 h.Metrics.p99
   | other -> Alcotest.failf "expected one histogram, got %d" (List.length other)
+
+let test_histogram_percentiles () =
+  let m = Metrics.create ~enabled:true () in
+  for i = 1 to 100 do
+    Metrics.observe m "h" (float_of_int i)
+  done;
+  (match (Metrics.snapshot m).Metrics.histograms with
+  | [ ("h", h) ] ->
+    (* nearest-rank over 1..100 lands exactly on the percentile index *)
+    Helpers.check_float "p50 of 1..100" 50.0 h.Metrics.p50;
+    Helpers.check_float "p95 of 1..100" 95.0 h.Metrics.p95;
+    Helpers.check_float "p99 of 1..100" 99.0 h.Metrics.p99
+  | other -> Alcotest.failf "expected one histogram, got %d" (List.length other));
+  let doc = Metrics.to_json m in
+  check_json "histogram document" doc;
+  List.iter
+    (fun needle ->
+      Helpers.check_true
+        (Printf.sprintf "json exposes %s" needle)
+        (contains ~needle doc))
+    [ "\"p50\""; "\"p95\""; "\"p99\"" ]
 
 let test_span_nesting () =
   let m = Metrics.create ~enabled:true () in
@@ -467,6 +492,8 @@ let suite =
       Alcotest.test_case "reset" `Quick test_reset;
       Alcotest.test_case "gauges" `Quick test_gauges;
       Alcotest.test_case "histograms" `Quick test_histograms;
+      Alcotest.test_case "histogram percentiles" `Quick
+        test_histogram_percentiles;
       Alcotest.test_case "span nesting" `Quick test_span_nesting;
       Alcotest.test_case "span start offsets" `Quick test_span_start_offsets;
       Alcotest.test_case "span closed on exception" `Quick

@@ -1,0 +1,232 @@
+(* Mx_util.Snapshot: the live-telemetry document and its ambient
+   tracker — JSON roundtrip, the canonical/exempt split, atomic
+   publication (a concurrent reader never observes a torn file), stall
+   detection, and jobs-parity of every progress counter. *)
+
+module Snapshot = Mx_util.Snapshot
+module Explore = Conex.Explore
+
+let sample =
+  {
+    Snapshot.version = Snapshot.schema_version;
+    phase = "explore.phase2";
+    progress =
+      {
+        Snapshot.shards_planned = 8;
+        shards_committed = 3;
+        evals_committed = 120;
+        archive_size = 17;
+      };
+    timing =
+      {
+        Snapshot.elapsed_s = 2.5;
+        eval_rate = 48.0;
+        eta_s = Some 4.2;
+        last_commit_age_s = 0.1;
+        stalled = false;
+      };
+    cache = { Snapshot.hits = 30; misses = 90; hit_rate = 0.25 };
+    domains =
+      [
+        { Snapshot.dom_id = 0; busy_s = 2.0; utilization = 0.8 };
+        { Snapshot.dom_id = 1; busy_s = 1.5; utilization = 0.6 };
+      ];
+  }
+
+let test_json_roundtrip () =
+  match Snapshot.of_json (Snapshot.to_json sample) with
+  | Error m -> Alcotest.failf "roundtrip parse failed: %s" m
+  | Ok s ->
+    Helpers.check_true "progress survives" (s.Snapshot.progress = sample.Snapshot.progress);
+    Helpers.check_true "phase survives" (s.Snapshot.phase = sample.Snapshot.phase);
+    Helpers.check_true "cache survives" (s.Snapshot.cache = sample.Snapshot.cache);
+    Helpers.check_true "eta survives"
+      (s.Snapshot.timing.Snapshot.eta_s = Some 4.2);
+    Helpers.check_true "domains survive" (s.Snapshot.domains = sample.Snapshot.domains)
+
+let test_canonical_excludes_exempt () =
+  let c = Snapshot.canonical_json sample in
+  List.iter
+    (fun needle ->
+      Helpers.check_true
+        (Printf.sprintf "canonical has no %s" needle)
+        (not (Test_metrics.contains ~needle c)))
+    [ "timing"; "cache"; "sched"; "elapsed"; "busy_s" ];
+  List.iter
+    (fun needle ->
+      Helpers.check_true
+        (Printf.sprintf "canonical keeps %s" needle)
+        (Test_metrics.contains ~needle c))
+    [ "version"; "phase"; "shards_planned"; "evals_committed"; "archive_size" ];
+  (* two snapshots differing only in exempt fields are canonically equal *)
+  let other =
+    {
+      sample with
+      Snapshot.timing =
+        {
+          Snapshot.elapsed_s = 99.0;
+          eval_rate = 1.0;
+          eta_s = None;
+          last_commit_age_s = 50.0;
+          stalled = true;
+        };
+      cache = { Snapshot.hits = 0; misses = 1; hit_rate = 0.0 };
+      domains = [];
+    }
+  in
+  Helpers.check_true "canonical ignores exempt sections"
+    (Snapshot.canonical_json sample = Snapshot.canonical_json other)
+
+let test_text_rendering () =
+  let t = Snapshot.to_text sample in
+  List.iter
+    (fun needle ->
+      Helpers.check_true
+        (Printf.sprintf "text mentions %s" needle)
+        (Test_metrics.contains ~needle t))
+    [ "explore.phase2"; "3/8"; "archive 17"; "hit rate"; "ETA" ];
+  let stalled =
+    {
+      sample with
+      Snapshot.timing = { sample.Snapshot.timing with Snapshot.stalled = true };
+    }
+  in
+  Helpers.check_true "stall is loud"
+    (Test_metrics.contains ~needle:"STALLED" (Snapshot.to_text stalled))
+
+let temp_status () = Filename.temp_file "conex_status" ".json"
+
+let with_tracker ?(interval = 0.05) ?(stall_after = 30.0) f =
+  let path = temp_status () in
+  Snapshot.start ~interval ~stall_after ~path ();
+  Fun.protect
+    ~finally:(fun () ->
+      Snapshot.finish ();
+      (try Sys.remove path with Sys_error _ -> ());
+      try Sys.remove (path ^ ".tmp") with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_tracker_lifecycle () =
+  Helpers.check_true "inactive at start" (not (Snapshot.active ()));
+  with_tracker (fun path ->
+      Helpers.check_true "active" (Snapshot.active ());
+      Snapshot.set_phase "p1";
+      Snapshot.add_shards_planned 4;
+      Snapshot.shard_committed ~archive:2 ();
+      Snapshot.eval_committed ~by:10 ();
+      let s = Snapshot.capture () in
+      Helpers.check_true "phase ticked" (s.Snapshot.phase = "p1");
+      Helpers.check_int "planned" 4 s.Snapshot.progress.Snapshot.shards_planned;
+      Helpers.check_int "committed" 1
+        s.Snapshot.progress.Snapshot.shards_committed;
+      Helpers.check_int "evals" 10 s.Snapshot.progress.Snapshot.evals_committed;
+      Helpers.check_int "archive" 2 s.Snapshot.progress.Snapshot.archive_size;
+      Helpers.check_true "eta projected from the plan"
+        (s.Snapshot.timing.Snapshot.eta_s <> None);
+      Snapshot.write_now ();
+      let text = In_channel.with_open_text path In_channel.input_all in
+      match Snapshot.of_json text with
+      | Error m -> Alcotest.failf "status file unreadable: %s" m
+      | Ok s ->
+        Helpers.check_int "file agrees" 10
+          s.Snapshot.progress.Snapshot.evals_committed);
+  Helpers.check_true "inactive after finish" (not (Snapshot.active ()));
+  (* ticks after finish are no-ops *)
+  Snapshot.eval_committed ();
+  Helpers.check_int "no tracking while inactive" 0
+    (Snapshot.capture ()).Snapshot.progress.Snapshot.evals_committed
+
+let test_stall_detection () =
+  with_tracker ~stall_after:0.01 (fun _ ->
+      Snapshot.shard_committed ();
+      Unix.sleepf 0.05;
+      let s = Snapshot.capture () in
+      Helpers.check_true "stalled after quiet period"
+        s.Snapshot.timing.Snapshot.stalled;
+      Snapshot.shard_committed ();
+      let s = Snapshot.capture () in
+      Helpers.check_true "commit clears the stall"
+        (not s.Snapshot.timing.Snapshot.stalled))
+
+(* A reader hammering the status file while the watchdog and the main
+   domain keep publishing must only ever see complete documents:
+   rename-based publication means a torn read is a bug, not bad luck. *)
+let test_atomic_publication () =
+  with_tracker ~interval:0.05 (fun path ->
+      Snapshot.set_phase "atomicity";
+      Snapshot.add_shards_planned 1000;
+      let stop = Atomic.make false in
+      let torn = Atomic.make 0 in
+      let seen = Atomic.make 0 in
+      let reader =
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              (match In_channel.with_open_text path In_channel.input_all with
+              | "" -> () (* only before the very first publication *)
+              | text -> (
+                Atomic.incr seen;
+                match Snapshot.of_json text with
+                | Ok _ -> ()
+                | Error _ -> Atomic.incr torn)
+              | exception Sys_error _ -> ());
+              Domain.cpu_relax ()
+            done)
+      in
+      for i = 1 to 500 do
+        Snapshot.shard_committed ~archive:i ();
+        Snapshot.eval_committed ~by:3 ();
+        if i mod 50 = 0 then Snapshot.write_now ()
+      done;
+      Unix.sleepf 0.15;
+      Atomic.set stop true;
+      Domain.join reader;
+      Helpers.check_int "no torn reads" 0 (Atomic.get torn);
+      Helpers.check_true "reader actually read something"
+        (Atomic.get seen > 0))
+
+(* The determinism contract: every progress counter (the canonical
+   part) is identical between a serial and a parallel run of the same
+   exploration; only timing/cache/sched may differ. *)
+let parity_config jobs =
+  {
+    Explore.reduced_config with
+    Explore.apex =
+      { Mx_apex.Explore.reduced_config with Mx_apex.Explore.max_selected = 2 };
+    jobs;
+    shards = 3;
+  }
+
+let run_with_tracker jobs w =
+  Mx_sim.Eval.clear_cache ();
+  Helpers.with_global_metrics (fun () ->
+      with_tracker (fun _ ->
+          let _r = Explore.run ~config:(parity_config jobs) w in
+          Snapshot.canonical_json (Snapshot.capture ())))
+
+let test_jobs_parity () =
+  let w = Helpers.mixed_workload ~scale:3000 () in
+  let c1 = run_with_tracker 1 w in
+  let c2 = run_with_tracker 2 w in
+  let cn = run_with_tracker Helpers.test_jobs w in
+  if not (c1 = c2 && c2 = cn) then
+    Alcotest.failf
+      "canonical snapshot diverges across jobs levels:\njobs=1: %sjobs=2: \
+       %sjobs=%d: %s"
+      c1 c2 Helpers.test_jobs cn;
+  Helpers.check_true "progress is non-trivial"
+    (Test_metrics.contains ~needle:"shards_committed" c1
+    && not (Test_metrics.contains ~needle:"\"shards_committed\": 0" c1))
+
+let suite =
+  ( "snapshot",
+    [
+      Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+      Alcotest.test_case "canonical excludes exempt sections" `Quick
+        test_canonical_excludes_exempt;
+      Alcotest.test_case "text rendering" `Quick test_text_rendering;
+      Alcotest.test_case "tracker lifecycle" `Quick test_tracker_lifecycle;
+      Alcotest.test_case "stall detection" `Quick test_stall_detection;
+      Alcotest.test_case "atomic publication" `Slow test_atomic_publication;
+      Alcotest.test_case "progress parity at jobs 1/2/N" `Slow
+        test_jobs_parity;
+    ] )
