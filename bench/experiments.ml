@@ -484,6 +484,88 @@ let cache () =
     (warm.Explore.wall_seconds <= 0.8 *. cold.Explore.wall_seconds);
   print_newline ()
 
+(* -- persistent store: warm start across a simulated restart ------------- *)
+
+let persist () =
+  print_endline "==================================================================";
+  print_endline "Persistent result store -- warm start across a process restart";
+  print_endline
+    "  the same exploration twice with an on-disk store in between: the hot";
+  print_endline
+    "  tier is dropped and the store reopened (a simulated restart), so the";
+  print_endline
+    "  repeat must be served from disk and reproduce the cold run exactly";
+  print_endline "==================================================================";
+  let w = Mx_trace.Kern_compress.generate ~scale:table2_scale ~seed:7 in
+  let config = { Explore.reduced_config with Explore.jobs = !jobs } in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "conex-bench-persist-%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mx_sim.Eval.close_persist ();
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        Array.iter
+          (fun n ->
+            try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+    (fun () ->
+      let open_store what =
+        match Mx_sim.Eval.open_persist ~dir with
+        | Ok () -> ()
+        | Error e -> check (Printf.sprintf "store %s (%s)" what e) false
+      in
+      (* a fresh hot tier and an empty store for the cold arm *)
+      Mx_sim.Eval.set_cache_capacity Mx_sim.Eval.default_cache_capacity;
+      open_store "opens";
+      let t0 = Unix.gettimeofday () in
+      let cold = Explore.run ~config w in
+      let cold_s = Unix.gettimeofday () -. t0 in
+      let written =
+        match Mx_sim.Eval.persist_stats () with
+        | Some s -> s.Mx_util.Persist_cache.appended
+        | None -> 0
+      in
+      (* simulated restart: drop the hot tier, close and reopen the store *)
+      Mx_sim.Eval.close_persist ();
+      Mx_sim.Eval.set_cache_capacity Mx_sim.Eval.default_cache_capacity;
+      open_store "reopens";
+      let t1 = Unix.gettimeofday () in
+      let warm = Explore.run ~config w in
+      let warm_s = Unix.gettimeofday () -. t1 in
+      let disk_hits, recovered =
+        match Mx_sim.Eval.persist_stats () with
+        | Some s ->
+          (s.Mx_util.Persist_cache.get_hits, s.Mx_util.Persist_cache.recovered)
+        | None -> (0, 0)
+      in
+      Json_out.record_experiment ~name:"persist:cold" ~wall_seconds:cold_s
+        ~n_estimates:cold.Explore.n_estimates
+        ~n_simulations:cold.Explore.n_simulations;
+      Json_out.record_experiment ~name:"persist:warm" ~wall_seconds:warm_s
+        ~n_estimates:warm.Explore.n_estimates
+        ~n_simulations:warm.Explore.n_simulations;
+      Printf.printf
+        "cold: %.2fs (%d records written)    warm: %.2fs    speedup %.1fx    \
+         disk: %d hits, %d recovered\n"
+        cold_s written warm_s
+        (cold_s /. Float.max 1e-9 warm_s)
+        disk_hits recovered;
+      check "warm-start run reproduces the cold run exactly"
+        (cold.Explore.estimated = warm.Explore.estimated
+        && cold.Explore.simulated = warm.Explore.simulated
+        && cold.Explore.pareto_cost_perf = warm.Explore.pareto_cost_perf);
+      check "cold run wrote the store (records > 0)" (written > 0);
+      check "restart recovered every record written" (recovered >= written);
+      check "warm-start run was served from disk (hits > 0)" (disk_hits > 0);
+      check "warm-start run is measurably faster (<= 0.8x cold wall time)"
+        (warm_s <= 0.8 *. cold_s);
+      print_newline ())
+
 (* -- event-log overhead: provenance on vs off --------------------------- *)
 
 let events () =
@@ -787,6 +869,7 @@ let all () =
   table1 ();
   table2 ();
   cache ();
+  persist ();
   events ();
   replacement ();
   shard ();

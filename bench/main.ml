@@ -11,7 +11,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [fig3|fig4|fig6|table1|table2|cache|events|replacement|shard|check|trace|ablation|micro|scaling|all]\n\
+     [fig3|fig4|fig6|table1|table2|cache|persist|events|replacement|shard|check|trace|ablation|micro|scaling|all]\n\
     \       [--jobs N] [--json PATH] [--run-dir DIR]";
   exit 2
 
@@ -46,6 +46,7 @@ let () =
   | "table1" -> Experiments.table1 ()
   | "table2" -> Experiments.table2 ()
   | "cache" -> Experiments.cache ()
+  | "persist" -> Experiments.persist ()
   | "events" -> Experiments.events ()
   | "replacement" -> Experiments.replacement ()
   | "shard" -> Experiments.shard ()

@@ -112,6 +112,41 @@ let cache_size_arg =
     & opt int Mx_sim.Eval.default_cache_capacity
     & info [ "cache-size" ] ~docv:"N" ~doc)
 
+let cache_dir_arg =
+  let doc =
+    "Directory of the persistent evaluation store (created if missing): \
+     results land on disk as they are computed and later runs with the same \
+     $(docv) warm-start from them, byte-identically.  Entries are keyed by \
+     structural fingerprints and stamped with the evaluator revision, so a \
+     store written by an older model is ignored wholesale.  Disk traffic \
+     appears as $(b,eval.cache.disk.*) counters under --metrics."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let persist_begin cache_dir =
+  Option.iter
+    (fun dir ->
+      match Mx_sim.Eval.open_persist ~dir with
+      | Ok () -> ()
+      | Error e -> die_io "cannot open cache dir: %s" e)
+    cache_dir
+
+(* the one-line summary is load-bearing for tests and CI: "disk hits >
+   0 on the second run" greps for it *)
+let persist_end cache_dir =
+  Option.iter
+    (fun dir ->
+      (match Mx_sim.Eval.persist_stats () with
+      | Some s ->
+        Printf.printf
+          "persistent cache: %d disk hits, %d writes, %d recovered (dir %s)\n"
+          s.Mx_util.Persist_cache.get_hits s.Mx_util.Persist_cache.appended
+          s.Mx_util.Persist_cache.recovered dir
+      | None -> ());
+      Mx_sim.Eval.close_persist ())
+    cache_dir
+
 let shards_arg =
   let doc =
     "Number of prefix-shards each clustering level is split into for the \
@@ -449,9 +484,9 @@ let config_with_policies config = function
     }
 
 let explore_cmd =
-  let run name scale seed reduced jobs shards cache_size policies scenario
-      plot trace_in csv front_out bus_report metrics trace_out events_out
-      chrome_out status_out status_interval stall_after run_dir =
+  let run name scale seed reduced jobs shards cache_size cache_dir policies
+      scenario plot trace_in csv front_out bus_report metrics trace_out
+      events_out chrome_out status_out status_interval stall_after run_dir =
     (* validate cheap inputs before hours of exploration *)
     let scenario = Option.map parse_scenario scenario in
     let policies = Option.map parse_policies policies in
@@ -460,6 +495,7 @@ let explore_cmd =
       [ csv; front_out; trace_out; events_out; chrome_out; status_out ];
     let w = resolve_workload name scale seed trace_in in
     Mx_sim.Eval.set_cache_capacity cache_size;
+    persist_begin cache_dir;
     metrics_begin metrics trace_out chrome_out;
     events_begin events_out chrome_out;
     status_begin status_out status_interval stall_after run_dir;
@@ -510,6 +546,7 @@ let explore_cmd =
       (if r.Conex.Explore.interrupted then
          " [interrupted: committed prefix only]"
        else "");
+    persist_end cache_dir;
     if plot then
       print_string
         (Conex.Report.ascii_scatter ~x:Conex.Design.cost ~y:Conex.Design.latency
@@ -620,10 +657,11 @@ let explore_cmd =
     (Cmd.info "explore" ~doc:"Full two-phase ConEx exploration")
     Term.(
       const run $ workload_arg $ scale_arg $ seed_arg $ reduced_arg $ jobs_arg
-      $ shards_arg $ cache_size_arg $ policies_arg $ scenario_arg $ plot_arg
-      $ trace_in_arg $ csv_arg $ front_out_arg $ bus_report_arg $ metrics_arg
-      $ trace_out_arg $ events_out_arg $ chrome_out_arg $ status_out_arg
-      $ status_interval_arg $ stall_after_arg $ run_dir_arg)
+      $ shards_arg $ cache_size_arg $ cache_dir_arg $ policies_arg
+      $ scenario_arg $ plot_arg $ trace_in_arg $ csv_arg $ front_out_arg
+      $ bus_report_arg $ metrics_arg $ trace_out_arg $ events_out_arg
+      $ chrome_out_arg $ status_out_arg $ status_interval_arg $ stall_after_arg
+      $ run_dir_arg)
 
 (* -- select: re-select from a saved CSV ---------------------------------- *)
 
@@ -686,8 +724,8 @@ let select_cmd =
 (* -- strategies ---------------------------------------------------------- *)
 
 let strategies_cmd =
-  let run name scale seed jobs shards full_budget cache_size metrics trace_out
-      events_out chrome_out status_out status_interval stall_after =
+  let run name scale seed jobs shards full_budget cache_size cache_dir metrics
+      trace_out events_out chrome_out status_out status_interval stall_after =
     check_workload_name name;
     if full_budget <= 0 then
       die_usage "--full-budget must be positive (got %d)" full_budget;
@@ -695,6 +733,7 @@ let strategies_cmd =
       [ trace_out; events_out; chrome_out; status_out ];
     let w = make_workload name ~scale ~seed in
     Mx_sim.Eval.set_cache_capacity cache_size;
+    persist_begin cache_dir;
     metrics_begin metrics trace_out chrome_out;
     events_begin events_out chrome_out;
     status_begin status_out status_interval stall_after None;
@@ -715,6 +754,7 @@ let strategies_cmd =
       [ Conex.Strategy.Pruned; Conex.Strategy.Neighborhood ];
     let rf = Conex.Coverage.eval ~reference:full full in
     Format.printf "%a@." Conex.Coverage.pp rf;
+    persist_end cache_dir;
     status_end status_out;
     events_end events_out chrome_out;
     metrics_end metrics trace_out chrome_out
@@ -732,9 +772,271 @@ let strategies_cmd =
        ~doc:"Compare Pruned / Neighborhood / Full exploration strategies")
     Term.(
       const run $ workload_arg $ scale_arg $ seed_arg $ jobs_arg $ shards_arg
-      $ full_budget_arg $ cache_size_arg $ metrics_arg $ trace_out_arg
-      $ events_out_arg $ chrome_out_arg $ status_out_arg
+      $ full_budget_arg $ cache_size_arg $ cache_dir_arg $ metrics_arg
+      $ trace_out_arg $ events_out_arg $ chrome_out_arg $ status_out_arg
       $ status_interval_arg $ stall_after_arg)
+
+(* -- serve: long-running JSONL evaluation front-end ----------------------- *)
+
+(* One JSON object per line in, one per line out.  Ops:
+
+     {"op": "ping", "id": 1}
+     {"op": "explore", "id": 2, "workload": "mixed",
+      "scale": 12000, "seed": 7, "reduced": true}
+     {"op": "stats", "id": 3}
+     {"op": "shutdown", "id": 4}
+
+   A malformed line or an unknown/invalid request produces a
+   per-request {"status": "error"} response — never process death (the
+   per-request [die_usage] discipline of the batch commands would kill
+   every other client's session).  Responses to identical explore
+   requests are deduplicated through a single-flight response cache, so
+   a duplicate is answered byte-identically (modulo the "dedup" flag
+   and the caller's "id") without re-running the funnel. *)
+
+module Serve = struct
+  module J = Mx_util.Json
+
+  let str s = "\"" ^ J.escape s ^ "\""
+
+  (* request ids are echoed verbatim; anything non-scalar is nulled *)
+  let render_id = function
+    | Some (J.Num f) -> J.number f
+    | Some (J.Str s) -> str s
+    | Some (J.Bool b) -> string_of_bool b
+    | _ -> "null"
+
+  let response ~id fields =
+    "{\"id\": " ^ render_id id ^ ", "
+    ^ String.concat ", " fields
+    ^ "}"
+
+  let error ~id fmt =
+    Printf.ksprintf
+      (fun msg ->
+        response ~id [ "\"status\": \"error\""; "\"error\": " ^ str msg ])
+      fmt
+
+  type counters = {
+    mutable requests : int;
+    mutable ok : int;
+    mutable errors : int;
+    mutable dedup : int;
+  }
+
+  let metric name = Mx_util.Metrics.incr Mx_util.Metrics.global name
+
+  (* the deterministic part of an explore response: everything but the
+     caller's id and the dedup flag.  This exact string is what the
+     response cache stores, so duplicates answer byte-identically. *)
+  let explore_body ~jobs ~shards ~workload ~scale ~seed ~reduced () =
+    let w = make_workload workload ~scale ~seed in
+    let config = config_of_reduced ~shards reduced jobs in
+    let r = Conex.Explore.run ~config w in
+    let front =
+      r.Conex.Explore.pareto_cost_perf
+      |> List.map (fun d ->
+             Printf.sprintf
+               "{\"design\": %s, \"cost_gates\": %d, \"avg_mem_latency\": %s, \
+                \"avg_energy_nj\": %s}"
+               (str (Conex.Design.id d))
+               d.Conex.Design.cost_gates
+               (J.number (Conex.Design.latency d))
+               (J.number (Conex.Design.energy d)))
+      |> String.concat ", "
+    in
+    Printf.sprintf
+      "\"status\": \"ok\", \"op\": \"explore\", \"workload\": %s, \"scale\": \
+       %d, \"seed\": %d, \"reduced\": %b, \"n_estimates\": %d, \
+       \"n_simulations\": %d, \"front\": [%s]"
+      (str workload) scale seed reduced r.Conex.Explore.n_estimates
+      r.Conex.Explore.n_simulations front
+
+  let stats_body c =
+    let serve =
+      Printf.sprintf
+        "\"serve\": {\"requests\": %d, \"ok\": %d, \"errors\": %d, \"dedup\": \
+         %d}"
+        c.requests c.ok c.errors c.dedup
+    in
+    let mc = Mx_sim.Eval.cache_stats () in
+    let eval_cache =
+      Printf.sprintf "\"eval_cache\": {\"entries\": %d, \"hits\": %d, \
+                      \"misses\": %d}"
+        mc.Mx_util.Memo_cache.size mc.Mx_util.Memo_cache.hits
+        mc.Mx_util.Memo_cache.misses
+    in
+    let persist =
+      match Mx_sim.Eval.persist_stats () with
+      | None -> "\"persist\": null"
+      | Some s ->
+        Printf.sprintf
+          "\"persist\": {\"entries\": %d, \"hits\": %d, \"writes\": %d, \
+           \"recovered\": %d}"
+          s.Mx_util.Persist_cache.entries s.Mx_util.Persist_cache.get_hits
+          s.Mx_util.Persist_cache.appended s.Mx_util.Persist_cache.recovered
+    in
+    String.concat ", "
+      [ "\"status\": \"ok\""; "\"op\": \"stats\""; serve; eval_cache; persist ]
+
+  (* handle one request line; returns the response and whether to keep
+     serving.  Every failure path is a per-request error response. *)
+  let handle ~counters:c ~resp_cache ~jobs ~shards line =
+    c.requests <- c.requests + 1;
+    metric "serve.requests";
+    let fail ~id fmt =
+      Printf.ksprintf
+        (fun msg ->
+          c.errors <- c.errors + 1;
+          metric "serve.errors";
+          (error ~id "%s" msg, `Continue))
+        fmt
+    in
+    let ok ~id ?(extra = []) body =
+      c.ok <- c.ok + 1;
+      metric "serve.ok";
+      (response ~id (extra @ [ body ]), `Continue)
+    in
+    match J.parse line with
+    | Error msg -> fail ~id:None "malformed request: %s" msg
+    | Ok req -> (
+      let id = J.member "id" req in
+      match Option.bind (J.member "op" req) J.to_string_opt with
+      | None -> fail ~id "missing or non-string \"op\""
+      | Some "ping" -> ok ~id "\"status\": \"ok\", \"op\": \"ping\""
+      | Some "stats" -> ok ~id (stats_body c)
+      | Some "shutdown" ->
+        c.ok <- c.ok + 1;
+        metric "serve.ok";
+        (response ~id [ "\"status\": \"ok\""; "\"op\": \"shutdown\"" ],
+         `Shutdown)
+      | Some "explore" -> (
+        let workload =
+          match Option.bind (J.member "workload" req) J.to_string_opt with
+          | Some w -> w
+          | None -> ""
+        in
+        let int_field name default =
+          match Option.bind (J.member name req) J.to_int_opt with
+          | Some v -> v
+          | None -> default
+        in
+        let scale = int_field "scale" 12_000 in
+        let seed = int_field "seed" 7 in
+        let reduced =
+          match Option.bind (J.member "reduced" req) J.to_bool_opt with
+          | Some b -> b
+          | None -> true
+        in
+        if not (List.mem workload workload_names) then
+          fail ~id "unknown workload %S (expected %s)" workload
+            (String.concat "|" workload_names)
+        else if scale <= 0 then fail ~id "scale must be positive (got %d)" scale
+        else
+          let fp =
+            Printf.sprintf "explore|%s|%d|%d|%b" workload scale seed reduced
+          in
+          match
+            Mx_util.Memo_cache.find_or_compute_prov resp_cache ~key:fp
+              (explore_body ~jobs ~shards ~workload ~scale ~seed ~reduced)
+          with
+          | body, deduped ->
+            if deduped then begin
+              c.dedup <- c.dedup + 1;
+              metric "serve.dedup"
+            end;
+            ok ~id
+              ~extra:[ Printf.sprintf "\"dedup\": %b" deduped ]
+              body
+          | exception exn -> fail ~id "explore failed: %s" (Printexc.to_string exn))
+      | Some other -> fail ~id "unknown op %S" other)
+end
+
+let serve_cmd =
+  let run cache_dir socket jobs shards cache_size =
+    if shards <= 0 then die_usage "--shards must be positive (got %d)" shards;
+    let jobs = max 1 jobs in
+    Mx_sim.Eval.set_cache_capacity cache_size;
+    persist_begin cache_dir;
+    let counters =
+      { Serve.requests = 0; ok = 0; errors = 0; dedup = 0 }
+    in
+    let resp_cache : string Mx_util.Memo_cache.t =
+      Mx_util.Memo_cache.create ~metrics_prefix:"serve.cache" ~capacity:4096 ()
+    in
+    let stop = ref false in
+    let serve_channel ic oc =
+      let eof = ref false in
+      while not (!stop || !eof) do
+        match input_line ic with
+        | exception End_of_file -> eof := true
+        | line when String.trim line = "" -> ()
+        | line ->
+          let resp, verdict =
+            Serve.handle ~counters ~resp_cache ~jobs ~shards line
+          in
+          output_string oc resp;
+          output_char oc '\n';
+          flush oc;
+          if verdict = `Shutdown then stop := true
+      done
+    in
+    (match socket with
+    | None -> serve_channel stdin stdout
+    | Some path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.bind fd (Unix.ADDR_UNIX path);
+         Unix.listen fd 8
+       with Unix.Unix_error (e, _, _) ->
+         die_io "cannot bind socket %s: %s" path (Unix.error_message e));
+      prerr_endline ("serving on " ^ path);
+      while not !stop do
+        let client, _ = Unix.accept fd in
+        let ic = Unix.in_channel_of_descr client in
+        let oc = Unix.out_channel_of_descr client in
+        (try serve_channel ic oc with Sys_error _ -> ());
+        (try flush oc with Sys_error _ -> ());
+        (try Unix.close client with Unix.Unix_error _ -> ())
+      done;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Sys.file_exists path then Sys.remove path);
+    (* graceful shutdown: flush and seal the active segment, and keep
+       stdout clean — it is the protocol stream *)
+    Option.iter
+      (fun dir ->
+        (match Mx_sim.Eval.persist_stats () with
+        | Some s ->
+          Printf.eprintf
+            "persistent cache: %d disk hits, %d writes, %d recovered (dir %s)\n"
+            s.Mx_util.Persist_cache.get_hits s.Mx_util.Persist_cache.appended
+            s.Mx_util.Persist_cache.recovered dir
+        | None -> ());
+        Mx_sim.Eval.close_persist ())
+      cache_dir
+  in
+  let socket_arg =
+    let doc =
+      "Accept requests on a Unix domain socket bound at $(docv) (connections \
+       are served one at a time) instead of reading stdin.  The socket file \
+       is created on start and removed on shutdown."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running evaluation front-end: JSONL requests on stdin (or a \
+          Unix socket) are answered on stdout, one response per line.  \
+          Identical explore requests are deduplicated through a \
+          single-flight response cache, sub-evaluations share the process's \
+          two cache tiers, and with --cache-dir every result lands in the \
+          persistent store, which a graceful shutdown (the \"shutdown\" op \
+          or EOF) flushes and seals.")
+    Term.(
+      const run $ cache_dir_arg $ socket_arg $ jobs_arg $ shards_arg
+      $ cache_size_arg)
 
 (* -- explain: funnel reconstruction from a saved event log --------------- *)
 
@@ -1268,7 +1570,7 @@ let main_cmd =
     (Cmd.info "conex" ~version:"1.0.0" ~doc)
     [
       profile_cmd; apex_cmd; explore_cmd; select_cmd; strategies_cmd;
-      explain_cmd; status_cmd; runs_cmd; check_cmd; trace_cmd;
+      serve_cmd; explain_cmd; status_cmd; runs_cmd; check_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -30,13 +30,22 @@
                     true-LRU equals the stack-distance oracle, all
                     policies agree on compulsory misses, true-LRU
                     misses are monotone in associativity
+    - [persist]     the persistent evaluation store: warm-start
+                    {!Conex.Explore.run} equals the cold run and is
+                    served from disk, Exact-serves-Sampled promotion
+                    survives the disk tier, stale-revision segments
+                    read as empty while the original revision keeps
+                    its data, torn tails lose only the uncommitted
+                    record, corrupt records and everything behind
+                    them are quarantined
 
-    Two hidden suites (reachable by name, excluded from {!all}) carry
+    Three hidden suites (reachable by name, excluded from {!all}) carry
     intentionally broken oracle comparisons used by the CLI contract
     tests to exercise the failure path end to end — counterexample
     found, shrunk, reproduction line printed, exit 1: [selftest]
-    (sample-variance stddev oracle) and [replacement-selftest] (a
-    promotion-blind true-LRU oracle). *)
+    (sample-variance stddev oracle), [replacement-selftest] (a
+    promotion-blind true-LRU oracle) and [persist-selftest] (digest
+    verification disabled over a corrupted store). *)
 
 val names : string list
 (** The public suite names, in the order {!all} runs them. *)

@@ -3,6 +3,7 @@ module Trace = Mx_trace.Trace
 module Mem_arch = Mx_mem.Mem_arch
 module Conn_arch = Mx_connect.Conn_arch
 module Memo_cache = Mx_util.Memo_cache
+module Persist_cache = Mx_util.Persist_cache
 module Metrics = Mx_util.Metrics
 
 type fidelity = Estimate | Sampled of int * int | Exact
@@ -62,21 +63,96 @@ let workload_fingerprint (w : Workload.t) =
 
 let key ~base fidelity = base ^ "|" ^ fidelity_tag fidelity
 
-type provenance = Computed | Cache_hit | Promoted
+(* The persistent (disk) tier.  Bump the revision whenever a change to
+   the estimator, the cycle simulator or the fingerprint scheme can
+   alter any evaluation result: segments written under the old revision
+   are then ignored on open, so a stale store silently self-invalidates
+   instead of serving yesterday's numbers. *)
+let model_revision = "conex-eval-1"
+
+let persist : Persist_cache.t option ref = ref None
+
+let close_persist () =
+  match !persist with
+  | None -> ()
+  | Some t ->
+    persist := None;
+    Persist_cache.close t
+
+let open_persist ~dir =
+  close_persist ();
+  match
+    Persist_cache.open_dir ~metrics_prefix:"eval.cache.disk"
+      ~revision:model_revision ~dir ()
+  with
+  | Ok t ->
+    persist := Some t;
+    Ok ()
+  | Error e -> Error e
+
+let sync_persist () = Option.iter Persist_cache.sync !persist
+let persist_stats () = Option.map Persist_cache.stats !persist
+
+let persist_get k =
+  match !persist with
+  | None -> None
+  | Some t -> (
+    match Persist_cache.get t ~key:k with
+    | None -> None
+    | Some wire -> Sim_result.of_wire wire (* unparseable entry = miss *))
+
+let persist_put k r =
+  match !persist with
+  | None -> ()
+  | Some t -> Persist_cache.put t ~key:k (Sim_result.to_wire r)
+
+type provenance = Computed | Cache_hit | Disk_hit | Promoted
 
 let provenance_tag = function
   | Computed -> "computed"
   | Cache_hit -> "hit"
+  | Disk_hit -> "hit_disk"
   | Promoted -> "promoted"
 
-let prov_of_hit = function true -> Cache_hit | false -> Computed
+(* hot tier -> disk tier -> compute, inside the memo closure so the
+   single-flight guarantee covers the disk read and the write-back:
+   concurrent requests for one key do one disk probe and at most one
+   evaluation, and every waiter sees the same value. *)
+let find_via_tiers c ~key:k f =
+  let disk = ref false in
+  let r, mem_hit =
+    Memo_cache.find_or_compute_prov c ~key:k (fun () ->
+        match persist_get k with
+        | Some r ->
+          disk := true;
+          r
+        | None ->
+          let r = f () in
+          persist_put k r;
+          r)
+  in
+  let prov = if mem_hit then Cache_hit else if !disk then Disk_hit else Computed in
+  (r, prov)
+
+(* Exact-serves-Sampled promotion through the disk tier: when the hot
+   tier has no Exact entry, probe the store before settling for a
+   sampled simulation, and re-home a disk hit under its Exact key so
+   later peeks promote from memory. *)
+let promote_from_disk c ~exact_key =
+  match persist_get exact_key with
+  | None -> None
+  | Some r ->
+    let r, _ = Memo_cache.find_or_compute_prov c ~key:exact_key (fun () -> r) in
+    Some r
 
 let note_shard ~shard ~key prov =
   match shard with
   | None -> ()
   | Some shard -> (
     match prov with
-    | Computed ->
+    (* a disk hit made the entry resident on this shard's behalf: for
+       shard-locality accounting it is this shard's production *)
+    | Computed | Disk_hit ->
       Mutex.lock producers_mu;
       if Hashtbl.length producers >= producers_bound then
         Hashtbl.reset producers;
@@ -108,38 +184,40 @@ let eval_prov ~fidelity ~workload ~arch ?profile ?shard ~conn () =
       | None -> invalid_arg "Eval.eval: Estimate fidelity requires ~profile"
     in
     let k = key ~base Estimate in
-    let r, hit =
-      Memo_cache.find_or_compute_prov c ~key:k (fun () ->
+    let r, prov =
+      find_via_tiers c ~key:k (fun () ->
           Estimator.estimate ~workload ~arch ~profile ~conn)
     in
-    let prov = prov_of_hit hit in
     note_shard ~shard ~key:k prov;
     (r, prov)
   | Exact ->
     let k = key ~base Exact in
-    let r, hit =
-      Memo_cache.find_or_compute_prov c ~key:k (fun () ->
-          Cycle_sim.run ~workload ~arch ~conn ())
+    let r, prov =
+      find_via_tiers c ~key:k (fun () -> Cycle_sim.run ~workload ~arch ~conn ())
     in
-    let prov = prov_of_hit hit in
     note_shard ~shard ~key:k prov;
     (r, prov)
   | Sampled (on, off) -> (
     (* an exact result for the same design is strictly higher fidelity:
        serve it instead of re-simulating with sampling *)
-    match Memo_cache.peek c ~key:(key ~base Exact) with
+    let exact_key = key ~base Exact in
+    match Memo_cache.peek c ~key:exact_key with
     | Some r ->
-      note_shard ~shard ~key:(key ~base Exact) Promoted;
+      note_shard ~shard ~key:exact_key Promoted;
       (r, Promoted)
-    | None ->
-      let k = key ~base (Sampled (on, off)) in
-      let r, hit =
-        Memo_cache.find_or_compute_prov c ~key:k (fun () ->
-            Cycle_sim.run ~sample:(on, off) ~workload ~arch ~conn ())
-      in
-      let prov = prov_of_hit hit in
-      note_shard ~shard ~key:k prov;
-      (r, prov))
+    | None -> (
+      match promote_from_disk c ~exact_key with
+      | Some r ->
+        note_shard ~shard ~key:exact_key Promoted;
+        (r, Promoted)
+      | None ->
+        let k = key ~base (Sampled (on, off)) in
+        let r, prov =
+          find_via_tiers c ~key:k (fun () ->
+              Cycle_sim.run ~sample:(on, off) ~workload ~arch ~conn ())
+        in
+        note_shard ~shard ~key:k prov;
+        (r, prov)))
 
 let eval ~fidelity ~workload ~arch ?profile ?shard ~conn () =
   fst (eval_prov ~fidelity ~workload ~arch ?profile ?shard ~conn ())
@@ -165,28 +243,26 @@ let eval_stream_prov ~fidelity ?seek ~(workload : Workload.streamed) ~arch
   | Exact ->
     if seek = Some true then
       invalid_arg "Eval.eval_stream: ~seek requires Sampled fidelity";
-    let r, hit =
-      Memo_cache.find_or_compute_prov c ~key:(key ~base Exact) (fun () ->
-          Cycle_sim.run_stream ~workload ~arch ~conn ())
-    in
-    (r, prov_of_hit hit)
+    find_via_tiers c ~key:(key ~base Exact) (fun () ->
+        Cycle_sim.run_stream ~workload ~arch ~conn ())
   | Sampled (on, off) -> (
-    match Memo_cache.peek c ~key:(key ~base Exact) with
+    let exact_key = key ~base Exact in
+    match Memo_cache.peek c ~key:exact_key with
     | Some r -> (r, Promoted)
-    | None ->
-      (* cold (seek) sampling skips module warming in the off-windows,
-         so its numbers are a different estimator from warm sampling —
-         keep the cache entries apart *)
-      let k =
-        key ~base (Sampled (on, off))
-        ^ if seek = Some true then "|seek" else ""
-      in
-      let r, hit =
-        Memo_cache.find_or_compute_prov c ~key:k (fun () ->
+    | None -> (
+      match promote_from_disk c ~exact_key with
+      | Some r -> (r, Promoted)
+      | None ->
+        (* cold (seek) sampling skips module warming in the off-windows,
+           so its numbers are a different estimator from warm sampling —
+           keep the cache entries apart *)
+        let k =
+          key ~base (Sampled (on, off))
+          ^ if seek = Some true then "|seek" else ""
+        in
+        find_via_tiers c ~key:k (fun () ->
             Cycle_sim.run_stream ~sample:(on, off) ?seek ~workload ~arch ~conn
-              ())
-      in
-      (r, prov_of_hit hit))
+              ())))
 
 let eval_stream ~fidelity ?seek ~workload ~arch ~conn () =
   fst (eval_stream_prov ~fidelity ?seek ~workload ~arch ~conn ())

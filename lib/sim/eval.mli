@@ -70,13 +70,17 @@ val eval :
 
 type provenance =
   | Computed  (** this call ran the evaluator *)
-  | Cache_hit  (** served from the cache (including single-flight waits) *)
+  | Cache_hit  (** served from the hot tier (incl. single-flight waits) *)
+  | Disk_hit
+      (** served from the persistent tier (see {!open_persist}) and
+          promoted into the hot tier *)
   | Promoted
-      (** a [Sampled] request served by a resident [Exact] result *)
+      (** a [Sampled] request served by an [Exact] result, resident in
+          either tier *)
 
 val provenance_tag : provenance -> string
-(** ["computed"], ["hit"] or ["promoted"] — the stable form used in
-    [eval.cache.provenance] events. *)
+(** ["computed"], ["hit"], ["hit_disk"] or ["promoted"] — the stable
+    form used in [eval.cache.provenance] events. *)
 
 val eval_prov :
   fidelity:fidelity ->
@@ -142,4 +146,41 @@ val cache_stats : unit -> Mx_util.Memo_cache.stats
 val clear_cache : unit -> unit
 (** Drop every cached result (counters are kept).  Call between
     independent experiment arms when warm-cache carry-over would blur a
-    comparison. *)
+    comparison.  Only empties the hot tier — the persistent tier, when
+    open, is untouched (that is what makes warm-start tests honest). *)
+
+(** {2 The persistent tier}
+
+    An optional second cache level backed by {!Mx_util.Persist_cache}:
+    hot tier → disk tier → compute, with the single-flight guarantee
+    covering all three (the disk probe and the write-back happen inside
+    the memo slot, so concurrent requests for one key do one disk read
+    and at most one evaluation).  Results are stored in the bit-exact
+    {!Sim_result.to_wire} form; an entry that fails {!Sim_result.of_wire}
+    reads as a miss.  Disk traffic is counted under
+    [eval.cache.disk.{hits,misses,writes}] — a [cache.] segment, exempt
+    from the determinism contract like the hot tier's counters. *)
+
+val model_revision : string
+(** Version stamp written into every segment the disk tier creates.
+    Bumped whenever the estimator, the cycle simulator or the
+    fingerprint scheme changes in a result-affecting way; stores written
+    under another revision are ignored wholesale on open. *)
+
+val open_persist : dir:string -> (unit, string) result
+(** Attach the process-wide disk tier rooted at [dir] (creating it if
+    needed), closing any previously attached store first.  [Error]
+    reports an unusable directory; a corrupt store is not an error —
+    torn or damaged records are skipped on open.  Not safe to call
+    concurrently with running evaluations. *)
+
+val close_persist : unit -> unit
+(** Flush, [fsync] and detach the disk tier (no-op when none is open).
+    Evaluation falls back to two-tier-less operation. *)
+
+val sync_persist : unit -> unit
+(** [fsync] the disk tier's active segment without detaching it — the
+    graceful-shutdown flush used by [conex serve]. *)
+
+val persist_stats : unit -> Mx_util.Persist_cache.stats option
+(** Counters of the attached store; [None] when no store is open. *)

@@ -10,6 +10,34 @@ type t = {
   exact : bool;
 }
 
+(* Persistent-cache wire form.  Floats are printed in %h hex notation,
+   which round-trips every finite double exactly — cached-vs-fresh
+   results must stay byte-identical downstream, so the codec is not
+   allowed to lose a single bit. *)
+let to_wire r =
+  Printf.sprintf "%d %d %d %h %h %h %d %d %b" r.accesses r.cycles
+    r.total_mem_latency r.avg_mem_latency r.avg_energy_nj r.miss_ratio
+    r.bus_wait_cycles r.dram_bytes r.exact
+
+let of_wire s =
+  match String.split_on_char ' ' s with
+  | [ acc; cy; tml; aml; ae; mr; bw; db; ex ] -> (
+    try
+      Some
+        {
+          accesses = int_of_string acc;
+          cycles = int_of_string cy;
+          total_mem_latency = int_of_string tml;
+          avg_mem_latency = float_of_string aml;
+          avg_energy_nj = float_of_string ae;
+          miss_ratio = float_of_string mr;
+          bus_wait_cycles = int_of_string bw;
+          dram_bytes = int_of_string db;
+          exact = bool_of_string ex;
+        }
+    with Failure _ | Invalid_argument _ -> None)
+  | _ -> None
+
 let pp fmt r =
   Format.fprintf fmt
     "%s: %d accesses, %d cycles, avg mem latency %.2f cy, avg energy %.2f \

@@ -22,3 +22,12 @@ type t = {
 }
 
 val pp : Format.formatter -> t -> unit
+
+val to_wire : t -> string
+(** Single-line byte form used by the persistent result store.  Floats
+    are encoded in hexadecimal ([%h]) so every finite double
+    round-trips bit-exactly: [of_wire (to_wire r) = Some r]. *)
+
+val of_wire : string -> t option
+(** Parse {!to_wire} output; [None] on any malformed input (a corrupt
+    or foreign store entry must read as a miss, never as a result). *)

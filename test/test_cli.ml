@@ -32,6 +32,36 @@ let run_conex args =
     in
     (code, slurp out, slurp err)
 
+(* run_conex with a stdin payload — the `conex serve` protocol tests
+   feed the JSONL request stream this way *)
+let run_conex_in ~input args =
+  match conex_bin with
+  | None -> Alcotest.skip ()
+  | Some bin ->
+    let inp = Filename.temp_file "conex_in" ".jsonl" in
+    Out_channel.with_open_bin inp (fun oc ->
+        Out_channel.output_string oc input);
+    let out = Filename.temp_file "conex_out" ".txt" in
+    let err = Filename.temp_file "conex_err" ".txt" in
+    let cmd =
+      Printf.sprintf "%s %s <%s >%s 2>%s" (Filename.quote bin)
+        (String.concat " " (List.map Filename.quote args))
+        (Filename.quote inp) (Filename.quote out) (Filename.quote err)
+    in
+    let code = Sys.command cmd in
+    Sys.remove inp;
+    let slurp path =
+      let ic = open_in_bin path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Sys.remove path;
+      s
+    in
+    (code, slurp out, slurp err)
+
 let check_exit msg expected (code, _out, err) =
   if code <> expected then
     Alcotest.failf "%s: expected exit %d, got %d (stderr: %s)" msg expected
@@ -515,6 +545,117 @@ let test_explain_truncated_tail () =
     (Test_metrics.contains ~needle:"Phase I" out);
   Sys.remove path
 
+(* -- conex serve: the JSONL request/response protocol -------------------- *)
+
+let serve_explore ~id =
+  Printf.sprintf
+    "{\"id\": %d, \"op\": \"explore\", \"workload\": \"mixed\", \"scale\": \
+     1500, \"seed\": 7, \"reduced\": true}"
+    id
+
+(* everything after the per-request envelope (id, dedup flag): the
+   deterministic body that duplicate requests must repeat byte for byte *)
+let body_of line =
+  let needle = "\"status\"" in
+  let nh = String.length line and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then Alcotest.failf "response carries no status: %s" line
+    else if String.sub line i nn = needle then String.sub line i (nh - i)
+    else go (i + 1)
+  in
+  go 0
+
+let test_serve_protocol () =
+  let input =
+    String.concat "\n"
+      [
+        "{\"id\": 1, \"op\": \"ping\"}";
+        serve_explore ~id:2;
+        "";
+        serve_explore ~id:3;
+        "this is not json";
+        "{\"id\": 4, \"op\": \"explore\", \"workload\": \"nosuch\"}";
+        "{\"id\": 5, \"op\": \"frobnicate\"}";
+        "{\"id\": 6, \"op\": \"stats\"}";
+        "{\"id\": 7, \"op\": \"shutdown\"}";
+        serve_explore ~id:99 (* after shutdown: must never be answered *);
+      ]
+    ^ "\n"
+  in
+  let ((_, out, _) as r) =
+    run_conex_in ~input [ "serve"; "--jobs"; "1" ]
+  in
+  check_exit "serve session" 0 r;
+  let lines =
+    String.split_on_char '\n' out |> List.filter (fun l -> String.trim l <> "")
+  in
+  Helpers.check_int "one response per request, none after shutdown" 8
+    (List.length lines);
+  List.iter (Test_metrics.check_json "serve response line") lines;
+  let nth i = List.nth lines i in
+  Helpers.check_true "ping pongs"
+    (Test_metrics.contains ~needle:"\"op\": \"ping\"" (nth 0));
+  Helpers.check_true "first explore is computed"
+    (Test_metrics.contains ~needle:"\"dedup\": false" (nth 1));
+  Helpers.check_true "duplicate explore is served from the response cache"
+    (Test_metrics.contains ~needle:"\"dedup\": true" (nth 2));
+  Helpers.check_true "duplicate response body is byte-identical"
+    (body_of (nth 1) = body_of (nth 2));
+  Helpers.check_true "explore response carries the front"
+    (Test_metrics.contains ~needle:"\"front\": [" (nth 1));
+  Helpers.check_true "malformed line answers an error, id null"
+    (Test_metrics.contains ~needle:"\"id\": null" (nth 3)
+    && Test_metrics.contains ~needle:"\"status\": \"error\"" (nth 3));
+  Helpers.check_true "unknown workload is a per-request error"
+    (Test_metrics.contains ~needle:"\"status\": \"error\"" (nth 4)
+    && Test_metrics.contains ~needle:"nosuch" (nth 4));
+  Helpers.check_true "unknown op is a per-request error"
+    (Test_metrics.contains ~needle:"frobnicate" (nth 5));
+  Helpers.check_true "stats reports the session counters"
+    (Test_metrics.contains ~needle:"\"serve\": {\"requests\": 7" (nth 6)
+    && Test_metrics.contains ~needle:"\"errors\": 3" (nth 6)
+    && Test_metrics.contains ~needle:"\"dedup\": 1" (nth 6));
+  Helpers.check_true "no disk tier means persist: null"
+    (Test_metrics.contains ~needle:"\"persist\": null" (nth 6));
+  Helpers.check_true "shutdown is acknowledged"
+    (Test_metrics.contains ~needle:"\"op\": \"shutdown\"" (nth 7))
+
+let test_serve_eof_shutdown () =
+  (* a closed stdin ends the session as cleanly as an explicit shutdown *)
+  let r = run_conex_in ~input:"{\"id\": 1, \"op\": \"ping\"}\n" [ "serve" ] in
+  check_exit "serve exits 0 on EOF" 0 r
+
+let test_serve_bad_shards () =
+  let r = run_conex_in ~input:"" [ "serve"; "--shards"; "0" ] in
+  check_exit "serve rejects non-positive shards" 2 r;
+  check_no_internal_error r
+
+let test_serve_cache_dir_warm_start () =
+  with_run_dir (fun dir ->
+      let session () =
+        run_conex_in
+          ~input:(serve_explore ~id:1 ^ "\n{\"id\": 2, \"op\": \"stats\"}\n")
+          [ "serve"; "--jobs"; "1"; "--cache-dir"; dir ]
+      in
+      let ((_, out1, err1) as r1) = session () in
+      check_exit "cold serve session" 0 r1;
+      let ((_, out2, err2) as r2) = session () in
+      check_exit "warm serve session" 0 r2;
+      let explore_line out = List.nth (String.split_on_char '\n' out) 0 in
+      Helpers.check_true "warm session answers byte-identically"
+        (explore_line out1 = explore_line out2);
+      (* the graceful-shutdown summary goes to stderr — stdout is the
+         protocol stream *)
+      Helpers.check_true "cold session wrote the store"
+        (Test_metrics.contains ~needle:"persistent cache: 0 disk hits" err1);
+      Helpers.check_true "warm session is served from the store"
+        (Test_metrics.contains ~needle:"disk hits" err2
+        && (not (Test_metrics.contains ~needle:" 0 disk hits" err2))
+        && Test_metrics.contains ~needle:" 0 writes" err2);
+      let stats_line = List.nth (String.split_on_char '\n' out2) 1 in
+      Helpers.check_true "warm stats shows resident persist entries"
+        (Test_metrics.contains ~needle:"\"persist\": {\"entries\":" stats_line))
+
 let suite =
   ( "cli",
     [
@@ -572,4 +713,11 @@ let suite =
         test_metrics_text_cache_line;
       Alcotest.test_case "explain truncated tail" `Slow
         test_explain_truncated_tail;
+      Alcotest.test_case "serve protocol end to end" `Slow
+        test_serve_protocol;
+      Alcotest.test_case "serve exits 0 on EOF" `Quick test_serve_eof_shutdown;
+      Alcotest.test_case "serve bad --shards exits 2" `Quick
+        test_serve_bad_shards;
+      Alcotest.test_case "serve --cache-dir warm start" `Slow
+        test_serve_cache_dir_warm_start;
     ] )

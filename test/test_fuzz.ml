@@ -1,17 +1,23 @@
 (* Randomised whole-pipeline suites from the Mx_check correctness
    harness: arbitrary synthetic workloads and arbitrary (valid)
    architectures through serialisation, fingerprinting, simulation
-   (against the straight-line replay oracle) and cached evaluation.
-   A failure prints the CLI reproduction line so the shrunk
-   counterexample can be replayed with `conex check`. *)
+   (against the straight-line replay oracle), cached evaluation and the
+   persistent result store.  Each harness property is registered as its
+   own alcotest case (see Test_check.check_prop_cases); a failure
+   prints the CLI reproduction line so the shrunk counterexample can be
+   replayed with `conex check`. *)
 
-let case ?count name =
-  Alcotest.test_case name `Quick (fun () ->
-      Test_check.run_check_suite ?count name)
+let cases ?count name = Test_check.check_prop_cases ?count name
 
 let suite =
   ( "fuzz",
-    [
-      case "trace"; case "fingerprint"; case ~count:100 "sim";
-      case ~count:100 "eval"; case "pipeline"; case ~count:100 "replacement";
-    ] )
+    List.concat
+      [
+        cases "trace";
+        cases "fingerprint";
+        cases ~count:100 "sim";
+        cases ~count:100 "eval";
+        cases "pipeline";
+        cases ~count:100 "replacement";
+        cases ~count:60 "persist";
+      ] )

@@ -2,14 +2,16 @@
    pareto-front laws against the quadratic oracle, clustering
    conservation laws against the bottom-up oracle, assignment
    enumeration against the cartesian oracle, and the statistics
-   oracles.  `dune runtest` thus exercises exactly the same generators
-   and oracles as `conex check`; a failure prints the CLI reproduction
-   line (CONEX_CHECK_SEED=... conex check --suite ...) so the shrunk
-   counterexample can be replayed outside the test harness. *)
-
-let case name =
-  Alcotest.test_case name `Quick (fun () ->
-      Test_check.run_check_suite ~count:200 name)
+   oracles.  Each harness property is its own alcotest case (see
+   Test_check.check_prop_cases), so `dune runtest` exercises exactly
+   the same generators and oracles as `conex check` and names the
+   failing property directly; the failure message carries the CLI
+   reproduction line (CONEX_CHECK_SEED=... conex check --suite ...) so
+   the shrunk counterexample can be replayed outside the test
+   harness. *)
 
 let suite =
-  ("properties", [ case "pareto"; case "cluster"; case "assign"; case "stats" ])
+  ( "properties",
+    List.concat_map
+      (Test_check.check_prop_cases ~count:200)
+      [ "pareto"; "cluster"; "assign"; "stats" ] )
